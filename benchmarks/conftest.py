@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Benches that exercise the real stack (Tables 2-3, §7.2 page characteristics)
+share one loaded repository; the figure/table models run on the calibrated
+discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Hedc
+
+
+@pytest.fixture(scope="session")
+def bench_hedc(tmp_path_factory):
+    """A loaded repository with a scientist account for end-to-end runs."""
+    root = tmp_path_factory.mktemp("hedc-bench")
+    hedc = Hedc.create(root)
+    hedc.ingest_observation(duration_s=900.0, seed=31, unit_target_photons=120_000)
+    hedc.register_user("bench", "bench-pw", group="scientist")
+    return hedc
+
+
+@pytest.fixture(scope="session")
+def bench_user(bench_hedc):
+    return bench_hedc.dm.users.find("bench")

@@ -1,0 +1,80 @@
+"""§6.3 ablation — wavelet approximation level versus bytes and error.
+
+The design choice behind interactive exploration: each additional detail
+level costs bytes and buys accuracy.  The sweep quantifies the trade on a
+realistic count-rate signal and verifies monotonicity in both directions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rhessi import TelemetryGenerator, standard_day_plan
+from repro.wavelets import decode, encode, reconstruction_error
+
+
+@pytest.fixture(scope="module")
+def count_signal():
+    plan = standard_day_plan(duration=1200.0, seed=12, n_flares=2, n_bursts=1, n_saa=0)
+    photons = TelemetryGenerator(plan, seed=12).generate()
+    _edges, counts = photons.bin_counts(1.0)
+    return counts.astype(float)
+
+
+def test_wavelet_level_sweep(benchmark, count_signal):
+    stream = encode(count_signal, quantizer_step=0.5)
+
+    def decode_mid_level():
+        return decode(stream.prefix(3))
+
+    benchmark(decode_mid_level)
+
+    rows = []
+    max_levels = len(stream.section_offsets) - 2
+    for levels in range(max_levels + 1):
+        payload = stream.prefix(levels)
+        approx = decode(payload)
+        error = reconstruction_error(count_signal, approx)
+        rows.append((levels, len(payload), error))
+
+    print()
+    print("Section 6.3 ablation - detail levels vs bytes vs error")
+    print(f"{'levels':>7} {'bytes':>9} {'NRMS error':>11}")
+    for levels, nbytes, error in rows:
+        print(f"{levels:>7} {nbytes:>9,} {error:>11.4f}")
+
+    # Bytes grow monotonically with detail levels.
+    sizes = [nbytes for _levels, nbytes, _error in rows]
+    assert sizes == sorted(sizes)
+    # Error shrinks (weakly) as detail is added, and vanishes at full detail.
+    errors = [error for _levels, _nbytes, error in rows]
+    assert errors[-1] < 0.01
+    assert errors[0] > errors[-1]
+    # The interactive sweet spot: <25% of the bytes for <15% error.
+    sweet = [row for row in rows if row[1] < sizes[-1] * 0.25 and row[2] < 0.15]
+    assert sweet, "no useful approximation level found"
+
+    benchmark.extra_info.update({
+        "full_bytes": sizes[-1],
+        "sweet_spot_bytes": sweet[0][1],
+        "sweet_spot_error": round(sweet[0][2], 4),
+        "paper_values": "progressive views enable interactive exploration",
+    })
+
+
+def test_quantizer_sweep(benchmark, count_signal):
+    """Coarser quantisation: smaller streams, bounded error growth."""
+
+    def encode_default():
+        return encode(count_signal, quantizer_step=0.5)
+
+    benchmark(encode_default)
+
+    previous_bytes = None
+    for step in (0.1, 0.5, 2.0, 8.0):
+        stream = encode(count_signal, quantizer_step=step)
+        error = reconstruction_error(count_signal, decode(stream.payload))
+        if previous_bytes is not None:
+            assert stream.total_bytes <= previous_bytes
+        previous_bytes = stream.total_bytes
+        # Error stays proportional to the quantiser, not catastrophic.
+        assert error < step

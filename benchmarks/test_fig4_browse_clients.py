@@ -1,0 +1,50 @@
+"""Figure 4 — browse throughput versus number of clients (one middle-tier
+server).
+
+Paper shape: peak ~16-17 req/s at 16 clients (the DBMS ceiling of ~120
+queries/s), then *degradation* — not a plateau — down to ~3 req/s at 96
+clients, caused by the application logic, not the database.
+"""
+
+import pytest
+
+from repro.evalmodel import figure4_series, print_figure4
+
+CLIENT_COUNTS = (16, 32, 48, 64, 80, 96)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return figure4_series(CLIENT_COUNTS)
+
+
+def test_fig4_regenerate(benchmark, series):
+    """Regenerate the Figure 4 series and verify its published shape."""
+
+    def run():
+        return figure4_series((16, 96), duration_s=150.0)
+
+    anchors = benchmark(run)
+    print()
+    print(print_figure4(series))
+
+    by_clients = {result.n_clients: result for result in series}
+    # Peak at 16 clients, DB-bound at ~120 queries/s.
+    assert 14.0 <= by_clients[16].throughput_rps <= 18.0
+    assert by_clients[16].db_queries_per_s == pytest.approx(120.0, rel=0.1)
+    # Monotonic degradation down to ~3 req/s at 96 clients.
+    throughputs = [by_clients[n].throughput_rps for n in CLIENT_COUNTS]
+    assert throughputs == sorted(throughputs, reverse=True)
+    assert 2.4 <= by_clients[96].throughput_rps <= 3.6
+    # §7.3: the slowdown is the app logic, not the DB.
+    assert by_clients[96].db_utilization < 0.5
+    assert by_clients[96].middle_tier_utilization > 0.9
+
+    benchmark.extra_info["throughput_16_clients_rps"] = round(
+        by_clients[16].throughput_rps, 2
+    )
+    benchmark.extra_info["throughput_96_clients_rps"] = round(
+        by_clients[96].throughput_rps, 2
+    )
+    benchmark.extra_info["paper_values"] = "16 clients: ~16.5 req/s; 96 clients: ~3 req/s"
+    assert anchors[0].throughput_rps > anchors[1].throughput_rps

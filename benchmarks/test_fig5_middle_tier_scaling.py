@@ -1,0 +1,41 @@
+"""Figure 5 — browse throughput versus middle-tier servers at 96 clients.
+
+Paper shape: 3 req/s with one node rising to ~18 req/s with five, at
+which point the DBMS is again the bottleneck (~120 queries/s).
+"""
+
+import pytest
+
+from repro.evalmodel import figure5_series, print_figure5
+
+NODE_COUNTS = (1, 2, 3, 5)
+
+
+@pytest.fixture(scope="module")
+def series():
+    return figure5_series(NODE_COUNTS)
+
+
+def test_fig5_regenerate(benchmark, series):
+    def run():
+        return figure5_series((1, 5), duration_s=150.0)
+
+    anchors = benchmark(run)
+    print()
+    print(print_figure5(series))
+
+    by_nodes = {result.n_middle_tier: result for result in series}
+    # 1 node: ~3 req/s (the Figure 4 right edge).
+    assert 2.4 <= by_nodes[1].throughput_rps <= 3.6
+    # Monotone scaling.
+    throughputs = [by_nodes[n].throughput_rps for n in NODE_COUNTS]
+    assert throughputs == sorted(throughputs)
+    # 5 nodes: back at the DB ceiling (~18 req/s, ~120 queries/s).
+    assert 15.5 <= by_nodes[5].throughput_rps <= 19.0
+    assert by_nodes[5].db_queries_per_s == pytest.approx(120.0, rel=0.08)
+    assert by_nodes[5].db_utilization > 0.9
+
+    benchmark.extra_info["throughput_1_node_rps"] = round(by_nodes[1].throughput_rps, 2)
+    benchmark.extra_info["throughput_5_nodes_rps"] = round(by_nodes[5].throughput_rps, 2)
+    benchmark.extra_info["paper_values"] = "1 node: 3 req/s; 5 nodes: 18 req/s (~120 db q/s)"
+    assert anchors[1].throughput_rps > anchors[0].throughput_rps

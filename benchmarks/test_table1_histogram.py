@@ -1,0 +1,56 @@
+"""Table 1 (right) — the histogram (I/O-intensive) processing test.
+
+Paper columns: S(1) 960s - S(2) 655 - C(1) 841 - C/cached 821 - S+C 438;
+the client CPU is NOT saturated (central scheduling dominates short
+analyses, §8.4) and caching buys little (data movement is cheap, §8.3).
+"""
+
+import pytest
+
+from repro.evalmodel import (
+    HISTOGRAM,
+    HISTOGRAM_CONFIGS,
+    print_table1,
+    simulate_processing,
+    table1_histogram,
+)
+
+PAPER = {
+    "S/1": 960.0, "S/2": 655.0, "C/1": 841.0, "C/cached/1": 821.0, "S+C/2+1": 438.0,
+}
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table1_histogram()
+
+
+def test_table1_histogram_regenerate(benchmark, rows):
+    def run_one():
+        return simulate_processing(HISTOGRAM, HISTOGRAM_CONFIGS[0])
+
+    benchmark(run_one)
+    print()
+    print(print_table1(rows))
+    print("paper:    S/1 960s  S/2 655s  C/1 841s  C/cached 821s  S+C 438s")
+
+    by_key = {f"{row.label}/{row.concurrency}": row for row in rows}
+    for key, paper_duration in PAPER.items():
+        measured = by_key[key].overall_duration_s
+        assert measured == pytest.approx(paper_duration, rel=0.15), (
+            f"{key}: measured {measured:.0f}s vs paper {paper_duration:.0f}s"
+        )
+        benchmark.extra_info[f"duration_{key}"] = round(measured)
+
+    # The paper's qualitative claims.
+    assert by_key["S/1"].overall_duration_s > by_key["C/1"].overall_duration_s
+    assert by_key["S+C/2+1"].overall_duration_s == min(
+        row.overall_duration_s for row in rows
+    )
+    caching_saving = 1.0 - (
+        by_key["C/cached/1"].overall_duration_s / by_key["C/1"].overall_duration_s
+    )
+    assert 0.0 <= caching_saving < 0.10  # "cost of data movement ... small"
+    assert by_key["C/1"].usr_cpu_client_pct < 60.0  # client not saturated
+    benchmark.extra_info["caching_saving_pct"] = round(caching_saving * 100, 1)
+    benchmark.extra_info["paper_values"] = "S/1 960s, S/2 655s, C 841s, C/cached 821s, S+C 438s"

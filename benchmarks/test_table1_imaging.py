@@ -1,0 +1,45 @@
+"""Table 1 (left) — the imaging processing test across configurations.
+
+Paper columns: S(1) 6027s/0.8GBd/109s - S(2) 3117/1.5/56 - C(1)
+2059/2.3/37 - S+C(2+1) 1380/3.5/24, with ~50% usr CPU for S(1) and a
+saturated client for C(1).
+"""
+
+import pytest
+
+from repro.evalmodel import IMAGING, IMAGING_CONFIGS, print_table1, simulate_processing, table1_imaging
+
+PAPER = {"S/1": 6027.0, "S/2": 3117.0, "C/1": 2059.0, "S+C/2+1": 1380.0}
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table1_imaging()
+
+
+def test_table1_imaging_regenerate(benchmark, rows):
+    def run_one():
+        return simulate_processing(IMAGING, IMAGING_CONFIGS[0])
+
+    benchmark(run_one)
+    print()
+    print(print_table1(rows))
+    print("paper:    S/1 6027s  S/2 3117s  C/1 2059s  S+C 1380s")
+
+    by_key = {f"{row.label}/{row.concurrency}": row for row in rows}
+    for key, paper_duration in PAPER.items():
+        measured = by_key[key].overall_duration_s
+        assert measured == pytest.approx(paper_duration, rel=0.15), (
+            f"{key}: measured {measured:.0f}s vs paper {paper_duration:.0f}s"
+        )
+        benchmark.extra_info[f"duration_{key}"] = round(measured)
+    # Orderings and CPU split shape.
+    assert (
+        by_key["S/1"].overall_duration_s
+        > by_key["S/2"].overall_duration_s
+        > by_key["C/1"].overall_duration_s
+        > by_key["S+C/2+1"].overall_duration_s
+    )
+    assert by_key["S/1"].usr_cpu_server_pct == pytest.approx(50.0, abs=5.0)
+    assert by_key["C/1"].usr_cpu_client_pct > 80.0
+    benchmark.extra_info["paper_values"] = "S/1 6027s, S/2 3117s, C/1 2059s, S+C 1380s"

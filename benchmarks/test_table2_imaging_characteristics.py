@@ -1,0 +1,80 @@
+"""Table 2 — characteristics of the imaging test, measured on the REAL
+stack (not the calibrated model).
+
+Paper: 100 requests, 50 MB input / 50 files (2-3 per analysis), 5.5 MB
+output (100 GIFs), 300 queries, 200 edits.  We run a volume-scaled run
+(N imaging requests through the PL against real units) and check the
+*per-request* invariants hold exactly: 3 DM queries and 2 DM edits per
+analysis, one image per request, input spanning multiple raw files.
+"""
+
+import pytest
+
+from repro.pl import AnalysisRequest, Phase
+
+N_REQUESTS = 12  # volume-scaled from the paper's 100
+
+
+def _run_imaging(hedc, user, n_requests):
+    events = hedc.events()
+    frontend = hedc.frontend
+    start_queries = frontend.context.queries
+    start_edits = frontend.context.edits
+    committed = []
+    for index in range(n_requests):
+        event = events[index % len(events)]
+        request = AnalysisRequest(
+            user, event["hle_id"], "imaging", {"n_pixels": 16, "force": True}
+        )
+        frontend.run(request)
+        assert request.phase is Phase.COMMITTED, request.error
+        committed.append(request)
+    return committed, frontend.context.queries - start_queries, \
+        frontend.context.edits - start_edits
+
+
+def test_table2_imaging_characteristics(benchmark, bench_hedc, bench_user):
+    committed, queries, edits = benchmark.pedantic(
+        _run_imaging, args=(bench_hedc, bench_user, N_REQUESTS),
+        rounds=1, iterations=1,
+    )
+    n = len(committed)
+
+    # Per-request DM interaction counts — the Table 2 ratios, exactly.
+    assert queries / n == pytest.approx(3.0), "paper: 300 queries / 100 requests"
+    assert edits / n == pytest.approx(2.0), "paper: 200 edits / 100 requests"
+
+    # Output: one image product per analysis (paper: 100 GIFs).
+    total_output = 0
+    total_photons = 0
+    for request in committed:
+        stored = bench_hedc.dm.semantic.get_analysis(bench_user, request.ana_id)
+        assert stored["n_images"] == 1
+        total_output += stored["output_bytes"]
+        total_photons += stored["n_photons_used"]
+    assert total_output > 0
+    assert total_photons > 0
+
+    from repro.metadb import Select
+
+    n_units = len(bench_hedc.dm.io.execute(Select("raw_units")))
+    assert n_units > 1  # input spans multiple raw files, as in the paper
+
+    print()
+    print("Table 2 (imaging characteristics, volume-scaled)")
+    print(f"{'':24}{'paper':>12}{'measured':>12}")
+    print(f"{'Requests':24}{100:>12}{n:>12}")
+    print(f"{'Input files':24}{50:>12}{n_units:>12}")
+    print(f"{'Queries':24}{300:>12}{queries:>12}")
+    print(f"{'Edits':24}{200:>12}{edits:>12}")
+    print(f"{'Queries/request':24}{3.0:>12.1f}{queries / n:>12.1f}")
+    print(f"{'Edits/request':24}{2.0:>12.1f}{edits / n:>12.1f}")
+    print(f"{'Output bytes':24}{'5.5 MB':>12}{total_output:>12,}")
+
+    benchmark.extra_info.update({
+        "requests": n,
+        "queries_per_request": queries / n,
+        "edits_per_request": edits / n,
+        "output_bytes": total_output,
+        "paper_values": "3 queries + 2 edits per analysis; 1 image each",
+    })

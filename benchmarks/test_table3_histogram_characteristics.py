@@ -1,0 +1,71 @@
+"""Table 3 — characteristics of the histogram test on the REAL stack.
+
+Paper: 150 requests over 50 MB (1/3 file per analysis), 1.2 MB output
+(150 GIFs), 450 queries, 300 edits — i.e. the same 3-queries/2-edits
+per-analysis invariant as imaging, with much smaller output.
+"""
+
+import pytest
+
+from repro.pl import AnalysisRequest, Phase
+
+N_REQUESTS = 18  # volume-scaled from the paper's 150
+
+
+def _run_histograms(hedc, user, n_requests):
+    events = hedc.events()
+    frontend = hedc.frontend
+    start_queries = frontend.context.queries
+    start_edits = frontend.context.edits
+    committed = []
+    for index in range(n_requests):
+        event = events[index % len(events)]
+        request = AnalysisRequest(
+            user, event["hle_id"], "histogram",
+            {"attribute": "energy", "n_bins": 64},
+        )
+        frontend.run(request)
+        assert request.phase is Phase.COMMITTED, request.error
+        committed.append(request)
+    return committed, frontend.context.queries - start_queries, \
+        frontend.context.edits - start_edits
+
+
+def test_table3_histogram_characteristics(benchmark, bench_hedc, bench_user):
+    committed, queries, edits = benchmark.pedantic(
+        _run_histograms, args=(bench_hedc, bench_user, N_REQUESTS),
+        rounds=1, iterations=1,
+    )
+    n = len(committed)
+
+    assert queries / n == pytest.approx(3.0), "paper: 450 queries / 150 requests"
+    assert edits / n == pytest.approx(2.0), "paper: 300 edits / 150 requests"
+
+    histogram_output = 0
+    for request in committed:
+        stored = bench_hedc.dm.semantic.get_analysis(bench_user, request.ana_id)
+        assert stored["n_images"] == 1
+        assert stored["n_bins"] == 64
+        histogram_output += stored["output_bytes"]
+
+    # Histogram products are compact (paper: 1.2 MB for 150 requests,
+    # i.e. ~8 KB per product).
+    assert 0 < histogram_output / n < 16_000
+
+    print()
+    print("Table 3 (histogram characteristics, volume-scaled)")
+    print(f"{'':24}{'paper':>12}{'measured':>12}")
+    print(f"{'Requests':24}{150:>12}{n:>12}")
+    print(f"{'Queries':24}{450:>12}{queries:>12}")
+    print(f"{'Edits':24}{300:>12}{edits:>12}")
+    print(f"{'Queries/request':24}{3.0:>12.1f}{queries / n:>12.1f}")
+    print(f"{'Edits/request':24}{2.0:>12.1f}{edits / n:>12.1f}")
+    print(f"{'Output bytes':24}{'1.2 MB':>12}{histogram_output:>12,}")
+
+    benchmark.extra_info.update({
+        "requests": n,
+        "queries_per_request": queries / n,
+        "edits_per_request": edits / n,
+        "output_bytes": histogram_output,
+        "paper_values": "3 queries + 2 edits per analysis; output << imaging",
+    })

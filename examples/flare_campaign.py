@@ -1,0 +1,92 @@
+"""A solar-flare observing campaign.
+
+The workload the paper's introduction motivates: a solar physicist scans
+a day of data for flares, images the brightest one at increasing
+resolution (the "dozens of analyses before a sensible decision" loop of
+§3.4), curates a private flare catalog, and publishes the results for
+the community.
+
+Run:  python examples/flare_campaign.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Hedc
+from repro.metadb import Comparison
+from repro.rhessi import SolarFlare, standard_day_plan
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="hedc-flares-"))
+    hedc = Hedc.create(workdir)
+
+    # A busy observing window: four flares of different GOES classes.
+    plan = standard_day_plan(duration=1200.0, seed=42, n_flares=4, n_bursts=0, n_saa=1)
+    true_flares = [p for p in plan.phenomena if isinstance(p, SolarFlare)]
+    print("true flares injected:")
+    for flare in true_flares:
+        print(f"  class {flare.goes_class} at t={flare.start:7.1f}s, "
+              f"position {flare.position_arcsec}")
+
+    report = hedc.ingest_observation(plan=plan, seed=42)
+    print(f"\nloader found {report.n_events} events "
+          f"({report.n_photons:,} photons, {report.n_units} units)")
+
+    scientist = hedc.register_user("pascale", "flare-hunter")
+
+    # Find the flares the loader catalogued, brightest first.
+    flares = hedc.dm.semantic.find_hles(
+        scientist,
+        where=Comparison("kind", "=", "flare"),
+        order_by=[("peak_rate", "desc")],
+    )
+    print(f"catalogued flares: {len(flares)}")
+
+    # The interactive loop of §3.4: image the brightest flare at
+    # increasing resolution until the source is well localised.
+    target = flares[0]
+    print(f"\nimaging flare HLE {target['hle_id']} "
+          f"(peak {target['peak_rate']:.0f} c/s):")
+    best = None
+    for n_pixels in (16, 24, 32):
+        request = hedc.analyze(
+            scientist, target["hle_id"], "imaging",
+            {"n_pixels": n_pixels, "force": True}, estimate=True,
+        )
+        stored = hedc.dm.semantic.get_analysis(scientist, request.ana_id)
+        print(f"  {n_pixels:>2}px: predicted {request.plan.predicted_seconds:6.1f}s, "
+              f"wall {request.sojourn_s:5.2f}s, peak value {stored['peak_value']:.4f}")
+        best = request
+    # Complementary views of the same event.
+    hedc.analyze(scientist, target["hle_id"], "lightcurve", {"bin_width_s": 2.0})
+    hedc.analyze(scientist, target["hle_id"], "spectroscopy", {"n_energy_bins": 24})
+
+    # Curate a private campaign catalog (a user workspace, §4.1) ...
+    campaign = hedc.dm.semantic.create_catalog(
+        scientist, "june-campaign", description="bright flares, day 1",
+        criteria="kind = flare AND peak_rate > median",
+    )
+    for flare in flares[: max(1, len(flares) // 2)]:
+        hedc.dm.semantic.add_to_catalog(scientist, campaign, flare["hle_id"])
+    print(f"\nprivate catalog 'june-campaign' with "
+          f"{hedc.dm.semantic.get_catalog(scientist, campaign)['n_members']} members")
+
+    # ... then share the best analysis with everyone (§3.5).
+    hedc.dm.semantic.publish_analysis(scientist, best.ana_id)
+    anonymous_view = hedc.dm.semantic.get_analysis(None, best.ana_id)
+    print(f"published analysis {anonymous_view['ana_id']} "
+          f"({anonymous_view['algorithm']}, {anonymous_view['n_pixels']}px) "
+          "is now publicly visible")
+
+    # A colleague finds it instead of recomputing (redundant-work check).
+    colleague = hedc.register_user("rene", "pw")
+    existing = hedc.dm.semantic.find_existing_analysis(
+        colleague, target["hle_id"], "imaging"
+    )
+    print(f"colleague's redundancy check found analysis {existing['ana_id']} - "
+          "no recomputation needed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Hunting gamma-ray bursts in a solar instrument's data.
+
+The paper's §3.2 argument for an open system: RHESSI is a *solar*
+telescope, but its detectors also see non-solar gamma-ray bursts.  A
+"solar flare only" repository would make this research impossible.  HEDC
+has no fixed event types — only events — so a GRB hunter can run her own
+SQL over the catalog, re-classify events, and correlate with remote
+synoptic archives.
+
+Run:  python examples/gamma_ray_burst_hunt.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Hedc
+from repro.rhessi import standard_day_plan
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="hedc-grb-"))
+    hedc = Hedc.create(workdir)
+
+    # A window with flares AND two gamma-ray bursts mixed in.
+    plan = standard_day_plan(duration=1500.0, seed=99, n_flares=3, n_bursts=2, n_saa=0)
+    hedc.ingest_observation(plan=plan, seed=99)
+    hunter = hedc.register_user("ersilia", "burst-pw")
+
+    # 1. The hunter's own question, in her own SQL (paper §1: users can
+    #    use "their own SQL queries") - hard, short events.
+    client = hedc.thin_client()
+    client.login("ersilia", "burst-pw")
+    sql = (
+        "select hle_id, kind, title, peak_rate, mean_energy_kev from hle "
+        "where mean_energy_kev > 60 and peak_rate > 100 "
+        "order by mean_energy_kev desc"
+    )
+    page = client.get("/hedc/search?sql=" + sql.replace(" ", "+"))
+    print(f"SQL search over the catalog returned HTTP {page.status}")
+
+    # The same query through the DM API (collection objects, §5.4).
+    from repro.metadb import And, Comparison
+
+    candidates = hedc.dm.semantic.find_hles(
+        hunter,
+        where=And([
+            Comparison("mean_energy_kev", ">", 60.0),
+            Comparison("peak_rate", ">", 100.0),
+        ]),
+        order_by=[("mean_energy_kev", "desc")],
+    )
+    print(f"burst candidates: {len(candidates)}")
+    for candidate in candidates:
+        print(f"  HLE {candidate['hle_id']}: {candidate['kind']:<16} "
+              f"<E>={candidate['mean_energy_kev']:7.1f} keV "
+              f"peak={candidate['peak_rate']:8.1f} c/s")
+
+    if not candidates:
+        print("no candidates in this window")
+        return
+    burst = candidates[0]
+
+    # 2. Spectroscopy to confirm the hard, non-thermal spectrum.
+    request = hedc.analyze(hunter, burst["hle_id"], "spectroscopy",
+                           {"n_energy_bins": 32}, publish=True)
+    stored = hedc.dm.semantic.get_analysis(hunter, request.ana_id)
+    print(f"\nspectrogram committed: analysis {stored['ana_id']}, "
+          f"{stored['total_counts']:,} counts")
+
+    # 3. Correlate with remote synoptic archives: a *solar* counterpart
+    #    in H-alpha or EUV at burst time would argue against a GRB.
+    hedc.enable_synoptic(mission_end_s=1500.0)
+    outcome = hedc.synoptic_context(burst["hle_id"], margin_s=300.0)
+    print(f"\nsynoptic context ({len(outcome.archives_answered)} archives answered, "
+          f"{len(outcome.archives_failed)} failed/best-effort):")
+    for instrument, records in sorted(outcome.records_by_instrument.items()):
+        print(f"  {instrument:<14} {len(records)} observations near the burst")
+
+    # 4. Re-catalog the event under the hunter's own classification: the
+    #    type-free event model at work (§3.3).
+    grb_catalog = hedc.dm.semantic.create_catalog(
+        hunter, "grb-candidates", description="non-solar hard events",
+        public=True,
+    )
+    for candidate in candidates:
+        hedc.dm.semantic.add_to_catalog(hunter, grb_catalog, candidate["hle_id"])
+    print(f"\npublished catalog 'grb-candidates' with {len(candidates)} members")
+
+
+if __name__ == "__main__":
+    main()

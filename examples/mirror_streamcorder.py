@@ -1,0 +1,78 @@
+"""Working offline with the StreamCorder fat client.
+
+Demonstrates §6.2-§6.3: a scientist mirrors part of the server into a
+local clone (same schema, local DM + DBMS), pulls raw data through the
+cache, and explores interactively using *progressive* wavelet views —
+decoding only a byte prefix until the approximation suffices.
+
+Run:  python examples/mirror_streamcorder.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Hedc
+from repro.metadb import Select
+from repro.streamcorder import StreamCorder
+from repro.wavelets import reconstruction_error
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="hedc-mirror-"))
+    hedc = Hedc.create(workdir / "server")
+    hedc.ingest_observation(duration_s=900.0, seed=3)
+    user = hedc.register_user("tycho", "pw")
+
+    # A StreamCorder with the clone cache: a full local DM + database
+    # with the identical schema ("every installation ... is, in fact, a
+    # clone of the HEDC server", §6.2).
+    corder = StreamCorder(hedc.dm, user, workdir / "laptop", cache_strategy="clone")
+    mirrored = corder.mirror_hles()
+    print(f"mirrored {mirrored} HLE tuples into the local clone")
+    local_tables = corder.local_dm.io.default_database.table_names()
+    server_tables = hedc.dm.io.default_database.table_names()
+    print(f"clone schema == server schema: {local_tables == server_tables}")
+
+    unit = hedc.dm.io.execute(Select("raw_units"))[0]["unit_id"]
+
+    # Progressive exploration: request coarser-to-finer prefixes of the
+    # wavelet view and watch bytes vs accuracy (the §6.3 trade).
+    view = hedc.dm.process.get_view(unit)
+    _points, exact, full_bytes = view.query(view.domain_start, view.domain_end)
+    print(f"\nprogressive lightcurve of unit {unit} "
+          f"(full view: {view.total_encoded_bytes:,} encoded bytes):")
+    print(f"{'levels':>7} {'bytes':>9} {'reduction':>10} {'NRMS error':>11}")
+    for levels in (0, 1, 2, 3, 6):
+        result = corder.progressive_lightcurve(unit, detail_levels=levels)
+        approx = result["values"][: len(exact)]
+        error = reconstruction_error(exact[: len(approx)], approx)
+        reduction = result["reduction_factor"]
+        print(f"{levels:>7} {result['bytes_decoded']:>9,} {reduction:>9.1f}x {error:>11.4f}")
+
+    # Full raw-data pull, then local (offline) analysis via cordlets.
+    photons = corder.fetch_unit(unit)
+    lightcurve = corder.run_job("lightcurve", {"photons": photons, "bin_width_s": 4.0})
+    histogram = corder.run_job("histogram", {"photons": photons, "attribute": "energy"})
+    print(f"\nlocal analysis on {len(photons):,} cached photons:")
+    print(f"  lightcurve peak: {lightcurve['peak'][1]:.1f} counts/s "
+          f"at t={lightcurve['peak'][0]:.1f}s")
+    print(f"  energy histogram total: {histogram['counts'].sum():,}")
+
+    # Second fetch is served locally - no server traffic.
+    downloads_before = corder.downloads
+    corder.fetch_unit(unit)
+    print(f"\nsecond fetch hit the cache (downloads unchanged: "
+          f"{corder.downloads == downloads_before})")
+
+    # Peer-to-peer (§10): a second laptop fetches from the first.
+    peer = StreamCorder(hedc.dm, user, workdir / "laptop2", cache_strategy="static")
+    peer.add_peer(corder)
+    server_reads_before = hedc.dm.io.stats.files_read
+    peer.fetch_unit(unit)
+    print(f"peer-to-peer fetch bypassed the server "
+          f"(server file reads unchanged: "
+          f"{hedc.dm.io.stats.files_read == server_reads_before})")
+
+
+if __name__ == "__main__":
+    main()

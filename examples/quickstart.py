@@ -1,0 +1,68 @@
+"""Quickstart: stand up a repository, ingest telemetry, browse, analyze.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Hedc
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="hedc-quickstart-"))
+    print(f"workspace: {workdir}\n")
+
+    # 1. Stand up a complete HEDC deployment (all three tiers).
+    hedc = Hedc.create(workdir)
+
+    # 2. Ingest a synthetic observation window: the loader packages the
+    #    photon stream into gzipped FITS units, detects events, creates
+    #    HLE tuples, fills the standard catalog and pre-computes
+    #    wavelet-compressed views.
+    report = hedc.ingest_observation(duration_s=600.0, seed=7)
+    print(f"ingested {report.n_photons:,} photons in {report.n_units} raw units")
+    print(f"detected {report.n_events} events; view bytes: {report.view_bytes:,}\n")
+
+    # 3. Browse the event catalog.
+    print("standard catalog:")
+    for event in hedc.catalog_events("standard"):
+        print(
+            f"  #{event['hle_id']:<3} {event['kind']:<16} "
+            f"t={event['start_time']:7.1f}-{event['end_time']:7.1f}s "
+            f"peak={event['peak_rate']:8.1f} c/s  "
+            f"<E>={event['mean_energy_kev']:6.1f} keV"
+        )
+
+    # 4. Register a scientist and run analyses through the PL's four
+    #    phases (estimate -> execute -> deliver -> commit).
+    alice = hedc.register_user("alice", "correct-horse")
+    event = hedc.events()[0]
+    for algorithm in ("lightcurve", "histogram", "imaging"):
+        parameters = {"n_pixels": 24} if algorithm == "imaging" else {}
+        request = hedc.analyze(alice, event["hle_id"], algorithm,
+                               parameters, estimate=True, publish=True)
+        plan = request.plan
+        print(
+            f"\n{algorithm}: predicted {plan.predicted_seconds:6.1f}s for "
+            f"{plan.input_mb:.2f} MB -> {request.phase.value} "
+            f"(ana {request.ana_id}, {request.sojourn_s:.2f}s wall)"
+        )
+
+    # 5. Browse the results through the web interface, like a colleague.
+    client = hedc.thin_client()
+    client.login("alice", "correct-horse")
+    browse = client.browse_hle(event["hle_id"])
+    print(
+        f"\nweb browse of HLE {event['hle_id']}: "
+        f"{browse.page_bytes:,} B page + {browse.n_images} images "
+        f"({browse.image_bytes:,} B) in {browse.n_requests} requests"
+    )
+
+    print("\nper-tier statistics:")
+    for tier, stats in hedc.stats().items():
+        print(f"  {tier}: {stats}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Analysis cost models.
+
+The PL's *estimation* phase uses "a simple predictor to inform the user
+about the duration of the subsequent execution phase" (paper §5.1).  The
+predictors here are calibrated against the paper's Table 1 figures
+(imaging: ~20 s per 800 KB on the client, ~60 s on the server; histogram:
+2-3 s per 300 KB client, 5-7 s server) and also drive the §6.3 claim:
+analysis cost scales with *input size*, so wavelet-approximated inputs
+cut holistic response time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Predicted seconds = fixed + per_mb * input_mb ** exponent."""
+
+    fixed_s: float
+    per_mb_s: float
+    exponent: float = 1.0
+
+    def predict(self, input_mb: float, speed_factor: float = 1.0) -> float:
+        """Predicted duration on a node with relative speed ``speed_factor``
+        (1.0 = the paper's processing client)."""
+        if input_mb < 0:
+            raise ValueError("input size cannot be negative")
+        if speed_factor <= 0:
+            raise ValueError("speed factor must be positive")
+        return (self.fixed_s + self.per_mb_s * input_mb ** self.exponent) / speed_factor
+
+
+# Calibrated to Table 1: ~20 s per 0.8 MB image input on the client.
+IMAGING = CostModel(fixed_s=2.0, per_mb_s=22.5, exponent=1.0)
+# ~2.5 s per 0.3 MB histogram input on the client.
+HISTOGRAM = CostModel(fixed_s=0.3, per_mb_s=7.3, exponent=1.0)
+# Lightcurves are linear and light.
+LIGHTCURVE = CostModel(fixed_s=0.2, per_mb_s=1.5, exponent=1.0)
+# Spectroscopy: superlinear in input (paper §6.3: "linear for short
+# analyses and exponential for complex ones" — we model a power law).
+SPECTROSCOPY = CostModel(fixed_s=1.0, per_mb_s=9.0, exponent=1.4)
+
+MODELS = {
+    "imaging": IMAGING,
+    "histogram": HISTOGRAM,
+    "lightcurve": LIGHTCURVE,
+    "spectroscopy": SPECTROSCOPY,
+}
+
+#: Relative CPU speed of the paper's nodes (client 400 MHz PC = 1.0,
+#: server 2x177 MHz SPARC ≈ 1/3 per analysis thread, Table 1).
+SERVER_SPEED_FACTOR = 1.0 / 3.0
+CLIENT_SPEED_FACTOR = 1.0
+
+
+def predict(algorithm: str, input_mb: float, on_server: bool = False) -> float:
+    """Predicted duration (s) of ``algorithm`` on the given node class."""
+    if algorithm not in MODELS:
+        raise KeyError(f"no cost model for algorithm {algorithm!r}")
+    factor = SERVER_SPEED_FACTOR if on_server else CLIENT_SPEED_FACTOR
+    return MODELS[algorithm].predict(input_mb, speed_factor=factor)
+
+
+def approximation_speedup(algorithm: str, input_mb: float, reduction_factor: float) -> float:
+    """Speedup from running on a 1/``reduction_factor``-size approximation."""
+    if reduction_factor < 1:
+        raise ValueError("reduction factor must be >= 1")
+    full = MODELS[algorithm].predict(input_mb)
+    reduced = MODELS[algorithm].predict(input_mb / reduction_factor)
+    return full / max(reduced, 1e-9)

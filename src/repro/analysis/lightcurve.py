@@ -1,0 +1,67 @@
+"""Lightcurve analysis: count rate vs. time per energy band.
+
+One of the three analysis algorithms "most frequently used in HEDC:
+imaging, lightcurves and spectroscopy" (paper §2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..rhessi.instrument import STANDARD_ENERGY_BANDS
+from ..rhessi.photons import PhotonList
+
+
+@dataclass(frozen=True)
+class Lightcurve:
+    """Count rates per time bin, one series per energy band."""
+
+    times: np.ndarray                      # bin centers (s)
+    rates: np.ndarray                      # (n_bands, n_bins) counts/s
+    bands: tuple[tuple[float, float], ...]
+    bin_width_s: float
+
+    @property
+    def n_bins(self) -> int:
+        return self.rates.shape[1]
+
+    def band_series(self, band_index: int) -> np.ndarray:
+        return self.rates[band_index]
+
+    def total_rate(self) -> np.ndarray:
+        return self.rates.sum(axis=0)
+
+    def peak(self) -> tuple[float, float]:
+        """(time, rate) of the global maximum of the summed series."""
+        total = self.total_rate()
+        index = int(np.argmax(total))
+        return float(self.times[index]), float(total[index])
+
+
+def lightcurve(
+    photons: PhotonList,
+    bin_width_s: float = 4.0,
+    bands: Optional[Sequence[tuple[float, float]]] = None,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> Lightcurve:
+    """Compute a multi-band lightcurve from a photon list."""
+    if bin_width_s <= 0:
+        raise ValueError("bin width must be positive")
+    chosen_bands = tuple(bands) if bands is not None else STANDARD_ENERGY_BANDS[:4]
+    t0 = photons.start if start is None else start
+    t1 = photons.end if end is None else end
+    if t1 <= t0:
+        raise ValueError("empty time range")
+    n_bins = max(1, int(np.ceil((t1 - t0) / bin_width_s)))
+    edges = t0 + np.arange(n_bins + 1) * bin_width_s
+    rates = np.zeros((len(chosen_bands), n_bins))
+    for band_row, (low, high) in enumerate(chosen_bands):
+        selected = photons.select_energy(low, high).select_time(t0, edges[-1])
+        counts, _edges = np.histogram(selected.times, bins=edges)
+        rates[band_row] = counts / bin_width_s
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return Lightcurve(centers, rates, chosen_bands, bin_width_s)

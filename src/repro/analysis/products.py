@@ -1,0 +1,106 @@
+"""Analysis products: rendering results to image files.
+
+Derived data in HEDC is "mostly images" (paper §4.1) — every analysis run
+attaches pictoral content (plus parameters and a log) to its ANA tuple.
+We render to PGM/PPM (portable graymap/pixmap), a real image format we can
+write from scratch without external imaging libraries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Union
+
+import numpy as np
+
+
+def render_pgm(array: np.ndarray) -> bytes:
+    """Render a 2-D array as an 8-bit binary PGM (P5) image."""
+    if array.ndim != 2:
+        raise ValueError("PGM rendering expects a 2-D array")
+    data = np.asarray(array, dtype=np.float64)
+    low = float(data.min())
+    high = float(data.max())
+    if high <= low:
+        scaled = np.zeros_like(data, dtype=np.uint8)
+    else:
+        scaled = ((data - low) / (high - low) * 255.0).astype(np.uint8)
+    height, width = scaled.shape
+    header = f"P5\n{width} {height}\n255\n".encode("ascii")
+    return header + scaled.tobytes()
+
+
+def parse_pgm(payload: bytes) -> np.ndarray:
+    """Parse a binary PGM back into a uint8 array (for tests and clients)."""
+    if not payload.startswith(b"P5"):
+        raise ValueError("not a binary PGM")
+    parts = payload.split(b"\n", 3)
+    if len(parts) < 4:
+        raise ValueError("truncated PGM header")
+    width, height = (int(token) for token in parts[1].split())
+    pixels = np.frombuffer(parts[3][: width * height], dtype=np.uint8)
+    if len(pixels) != width * height:
+        raise ValueError("truncated PGM data")
+    return pixels.reshape(height, width)
+
+
+def render_series_pgm(values: np.ndarray, height: int = 64) -> bytes:
+    """Render a 1-D series (lightcurve, histogram) as a bar-plot PGM."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or len(values) == 0:
+        raise ValueError("expected a non-empty 1-D series")
+    peak = float(values.max())
+    canvas = np.zeros((height, len(values)), dtype=np.float64)
+    if peak > 0:
+        bar_heights = np.clip((values / peak * height).astype(int), 0, height)
+        for column, bar in enumerate(bar_heights):
+            if bar > 0:
+                canvas[height - bar:, column] = 1.0
+    return render_pgm(canvas)
+
+
+@dataclass
+class AnalysisProduct:
+    """The file bundle one analysis produces (paper §4.1).
+
+    Importing an analysis means "storing and referencing multiple files:
+    algorithm parameters, process log, resulting images".
+    """
+
+    algorithm: str
+    parameters: dict[str, Any]
+    image_payloads: list[bytes] = field(default_factory=list)
+    log_lines: list[str] = field(default_factory=list)
+    summary: dict[str, Any] = field(default_factory=dict)
+
+    def add_image(self, payload: bytes) -> None:
+        self.image_payloads.append(payload)
+
+    def log(self, message: str) -> None:
+        self.log_lines.append(message)
+
+    def write_bundle(self, directory: Union[str, Path], stem: str) -> list[Path]:
+        """Write the parameter/log/image files; returns the created paths."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        created: list[Path] = []
+        params_path = directory / f"{stem}.params.json"
+        params_path.write_text(
+            json.dumps(
+                {"algorithm": self.algorithm, "parameters": self.parameters,
+                 "summary": self.summary},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        created.append(params_path)
+        log_path = directory / f"{stem}.log"
+        log_path.write_text("\n".join(self.log_lines) + ("\n" if self.log_lines else ""))
+        created.append(log_path)
+        for image_index, payload in enumerate(self.image_payloads):
+            image_path = directory / f"{stem}.{image_index:02d}.pgm"
+            image_path.write_bytes(payload)
+            created.append(image_path)
+        return created

@@ -1,0 +1,69 @@
+"""Spectrogram analysis: time x energy count maps.
+
+The Phoenix-2 catalog HEDC hosts "contains spectrograms for around 3000
+identified solar events" (paper §2.2); the same analysis applies to
+RHESSI photon lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..rhessi.instrument import ENERGY_MAX_KEV, ENERGY_MIN_KEV
+from ..rhessi.photons import PhotonList
+
+
+@dataclass(frozen=True)
+class Spectrogram:
+    """2-D counts histogram over (time, log-energy)."""
+
+    counts: np.ndarray        # (n_energy_bins, n_time_bins)
+    time_edges: np.ndarray
+    energy_edges: np.ndarray  # keV, log-spaced
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.counts.shape
+
+    def normalized(self) -> np.ndarray:
+        """Log-scaled, 0-1 normalised map (what gets rendered)."""
+        scaled = np.log1p(self.counts.astype(np.float64))
+        peak = scaled.max() or 1.0
+        return scaled / peak
+
+    def band_profile(self, low_kev: float, high_kev: float) -> np.ndarray:
+        """Time series of counts inside one energy band."""
+        mask = (self.energy_edges[:-1] >= low_kev) & (self.energy_edges[1:] <= high_kev)
+        return self.counts[mask].sum(axis=0)
+
+
+def spectrogram(
+    photons: PhotonList,
+    time_bin_s: float = 4.0,
+    n_energy_bins: int = 32,
+    energy_range_kev: Optional[tuple[float, float]] = None,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> Spectrogram:
+    """Compute a spectrogram from a photon list."""
+    if time_bin_s <= 0:
+        raise ValueError("time bin must be positive")
+    if n_energy_bins < 2:
+        raise ValueError("need at least 2 energy bins")
+    low, high = energy_range_kev or (ENERGY_MIN_KEV, ENERGY_MAX_KEV)
+    t0 = photons.start if start is None else start
+    t1 = photons.end if end is None else end
+    if t1 <= t0:
+        raise ValueError("empty time range")
+    n_time_bins = max(1, int(np.ceil((t1 - t0) / time_bin_s)))
+    time_edges = t0 + np.arange(n_time_bins + 1) * time_bin_s
+    energy_edges = np.logspace(np.log10(low), np.log10(high), n_energy_bins + 1)
+    counts, _xedges, _yedges = np.histogram2d(
+        photons.energies.astype(np.float64),
+        photons.times,
+        bins=[energy_edges, time_edges],
+    )
+    return Spectrogram(counts, time_edges, energy_edges)

@@ -1,0 +1,5 @@
+"""The HEDC repository facade — the library's primary public API."""
+
+from .hedc import Hedc, IngestReport
+
+__all__ = ["Hedc", "IngestReport"]

@@ -1,0 +1,97 @@
+"""The Data Management component facade.
+
+One :class:`DataManager` is one DM node (paper §2.3): it binds the I/O,
+semantic and process layers over a database and a storage manager, owns
+the session cache, and authenticates callers.  Several DataManagers can
+share one database through a :class:`~repro.dm.redirect.DmRouter` — the
+configuration the scalability experiment of §7.3 measures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..filestore import DiskArchive, StorageManager
+from ..metadb import Database
+from ..rhessi import EventDetector
+from ..schema import install_all
+from ..security import User, UserManager
+from .io_layer import IoLayer
+from .maintenance import MaintenanceService
+from .process import ProcessLayer
+from .reports import PredefinedQueries, Reports
+from .semantic import SemanticLayer
+from .sessions import SessionCache
+
+
+class DataManager:
+    """One DM node."""
+
+    def __init__(
+        self,
+        database: Database,
+        storage: StorageManager,
+        node_name: str = "dm0",
+        install_schema: bool = True,
+        pool_open_cost_s: float = 0.0,
+    ):
+        self.node_name = node_name
+        if install_schema:
+            install_all(database)
+        self.io = IoLayer(database, storage, pool_open_cost_s=pool_open_cost_s)
+        self.users = UserManager(database)
+        self.import_user = self.users.ensure_import_user()
+        self.semantic = SemanticLayer(self.io)
+        self.process = ProcessLayer(self.io, self.semantic, self.import_user)
+        self.sessions = SessionCache()
+        self.queries = PredefinedQueries(self.io)
+        self.reports = Reports(self.io)
+        self.maintenance = MaintenanceService(self.io, self.semantic)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def standalone(
+        cls,
+        data_dir: Union[str, Path],
+        node_name: str = "dm0",
+        persistent: bool = False,
+    ) -> "DataManager":
+        """A self-contained node: one disk archive, fresh database.
+
+        This is also how the StreamCorder builds its local clone (§6.2) —
+        "every installation of the StreamCorder is, in fact, a clone of
+        the HEDC server".
+        """
+        data_dir = Path(data_dir)
+        database = Database(data_dir / "db" if persistent else None, name=node_name)
+        storage = StorageManager(scratch_dir=data_dir / "scratch")
+        archive = DiskArchive("main", data_dir / "archive")
+        storage.register(archive)
+        dm = cls(database, storage, node_name=node_name)
+        dm.io.names.ensure_archive("main", str(archive.root))
+        return dm
+
+    # -- authentication -------------------------------------------------------
+
+    def authenticate(self, login: str, password: str) -> User:
+        return self.users.authenticate(login, password)
+
+    def open_session(self, user: User, kind: str, client_ip: str = "127.0.0.1",
+                     cookie: Optional[str] = None):
+        return self.sessions.get_or_create(user, kind, client_ip, cookie)
+
+    # -- statistics --------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "node": self.node_name,
+            "io": self.io.stats.snapshot(),
+            "db": self.io.default_database.stats.snapshot(),
+            "sessions": {
+                "size": self.sessions.size,
+                "hits": self.sessions.hits,
+                "misses": self.sessions.misses,
+            },
+        }

@@ -1,0 +1,132 @@
+"""Sessions and the session cache (paper §5.3).
+
+"Creating database connections and user sessions are the two most
+expensive parts of request processing" — so the DM caches up to three
+sessions per user (one each for analyses, HLEs and catalogues), matching
+clients to sessions by network IP and cookie.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..security import User
+
+SESSION_KINDS = ("hle", "ana", "catalog")
+
+
+@dataclass
+class Session:
+    """One cached user session: profile, status and a temporary view."""
+
+    session_id: str
+    user: User
+    kind: str                       # hle | ana | catalog
+    client_ip: str
+    cookie: str
+    created_at: float = field(default_factory=time.time)
+    last_used_at: float = field(default_factory=time.time)
+    #: "a temporary view (to speed up subsequent data access)" — cached
+    #: rows keyed by a query fingerprint.
+    view: dict[str, Any] = field(default_factory=dict)
+    requests_served: int = 0
+
+    def touch(self) -> None:
+        self.last_used_at = time.time()
+        self.requests_served += 1
+
+    def cache_view(self, key: str, rows: list[dict]) -> None:
+        self.view[key] = rows
+
+    def cached_view(self, key: str) -> Optional[list[dict]]:
+        return self.view.get(key)
+
+
+class SessionCache:
+    """Per-user session cache, three kinds per user, LRU-evicted."""
+
+    def __init__(self, max_users: int = 256, ttl_s: float = 3600.0):
+        self._sessions: dict[tuple[int, str], Session] = {}
+        self._by_cookie: dict[str, tuple[int, str]] = {}
+        self.max_users = max_users
+        self.ttl_s = ttl_s
+        self.hits = 0
+        self.misses = 0
+        self.creations = 0
+
+    def _expired(self, session: Session) -> bool:
+        return time.time() - session.last_used_at > self.ttl_s
+
+    def lookup(self, user: User, kind: str, client_ip: str, cookie: str) -> Optional[Session]:
+        """Match a client to its session via IP and cookie (§5.3)."""
+        key = (user.user_id, kind)
+        session = self._sessions.get(key)
+        if session is None or self._expired(session):
+            self.misses += 1
+            return None
+        if session.client_ip != client_ip or session.cookie != cookie:
+            self.misses += 1
+            return None
+        self.hits += 1
+        session.touch()
+        return session
+
+    def create(self, user: User, kind: str, client_ip: str) -> Session:
+        if kind not in SESSION_KINDS:
+            raise ValueError(f"unknown session kind {kind!r}")
+        self._evict_if_needed()
+        cookie = os.urandom(8).hex()
+        session = Session(
+            session_id=f"s-{user.user_id}-{kind}-{cookie[:6]}",
+            user=user,
+            kind=kind,
+            client_ip=client_ip,
+            cookie=cookie,
+        )
+        self._sessions[(user.user_id, kind)] = session
+        self._by_cookie[cookie] = (user.user_id, kind)
+        self.creations += 1
+        return session
+
+    def get_or_create(self, user: User, kind: str, client_ip: str,
+                      cookie: Optional[str] = None) -> Session:
+        if cookie is not None:
+            session = self.lookup(user, kind, client_ip, cookie)
+            if session is not None:
+                return session
+        else:
+            self.misses += 1
+        return self.create(user, kind, client_ip)
+
+    def by_cookie(self, cookie: str) -> Optional[Session]:
+        key = self._by_cookie.get(cookie)
+        if key is None:
+            return None
+        session = self._sessions.get(key)
+        if session is None or session.cookie != cookie or self._expired(session):
+            return None
+        return session
+
+    def invalidate_user(self, user_id: int) -> int:
+        """Drop all of a user's sessions (logout / deactivation)."""
+        dropped = 0
+        for kind in SESSION_KINDS:
+            session = self._sessions.pop((user_id, kind), None)
+            if session is not None:
+                self._by_cookie.pop(session.cookie, None)
+                dropped += 1
+        return dropped
+
+    def _evict_if_needed(self) -> None:
+        active_users = {user_id for user_id, _kind in self._sessions}
+        if len(active_users) < self.max_users:
+            return
+        oldest = min(self._sessions.values(), key=lambda session: session.last_used_at)
+        self.invalidate_user(oldest.user.user_id)
+
+    @property
+    def size(self) -> int:
+        return len(self._sessions)

@@ -1,0 +1,36 @@
+"""Content checksums for archive integrity.
+
+All file data in HEDC is read-only (paper §4.1); a checksum recorded at
+store time lets migration, staging and backup/restore verify that no copy
+step corrupted the bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Union
+
+_CHUNK = 1 << 20
+
+
+def checksum_bytes(payload: bytes) -> str:
+    """Hex SHA-256 of a byte string."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def checksum_file(path: Union[str, Path]) -> str:
+    """Hex SHA-256 of a file, streamed."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def verify_file(path: Union[str, Path], expected: str) -> bool:
+    """True when the file's checksum matches ``expected``."""
+    return checksum_file(path) == expected

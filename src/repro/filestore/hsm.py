@@ -1,0 +1,177 @@
+"""Hierarchical storage management across archives.
+
+The paper rejects DBMS LOBs partly because they "lack support for the
+hierarchical storage management systems needed to provide vendor
+independent, scalable, and robust data access, migration and backup
+across different file systems and platforms" (§4.2).  This manager is
+that missing layer: it registers archives, places new data by policy,
+migrates items between tiers with checksum verification and compensation,
+and stages tape items through a scratch disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from .archive import (
+    Archive,
+    ArchiveError,
+    ArchiveKind,
+    DiskArchive,
+    NotStaged,
+    StoredItem,
+    TapeArchive,
+)
+from .checksums import checksum_bytes
+
+
+@dataclass(frozen=True)
+class MigrationResult:
+    """Outcome of one item migration (recorded as lineage by the DM)."""
+
+    rel_path: str
+    from_archive: str
+    to_archive: str
+    size: int
+    checksum: str
+
+
+class StorageManager:
+    """Registry and mover over a set of archives."""
+
+    def __init__(self, scratch_dir: Optional[Union[str, Path]] = None):
+        self._archives: dict[str, Archive] = {}
+        self._scratch: Optional[DiskArchive] = None
+        if scratch_dir is not None:
+            self._scratch = DiskArchive("__scratch__", scratch_dir)
+        self.migrations: list[MigrationResult] = []
+
+    # -- registry ------------------------------------------------------------
+
+    def scratch_path(self, sub_dir: str) -> Path:
+        """A working directory outside every archive (staging, repacking)."""
+        if self._scratch is not None:
+            path = self._scratch.root / sub_dir
+        else:
+            import tempfile
+
+            path = Path(tempfile.mkdtemp(prefix="hsm-scratch-")) / sub_dir
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def register(self, archive: Archive) -> None:
+        if archive.archive_id in self._archives:
+            raise ArchiveError(f"archive {archive.archive_id!r} already registered")
+        self._archives[archive.archive_id] = archive
+
+    def archive(self, archive_id: str) -> Archive:
+        if archive_id not in self._archives:
+            raise ArchiveError(f"unknown archive {archive_id!r}")
+        return self._archives[archive_id]
+
+    def archive_ids(self) -> list[str]:
+        return sorted(self._archives)
+
+    def online_disks(self) -> list[Archive]:
+        return [
+            archive
+            for archive in self._archives.values()
+            if archive.online and archive.kind is ArchiveKind.DISK
+        ]
+
+    # -- placement ------------------------------------------------------------
+
+    def place(self, rel_path: str, payload: bytes, prefer: Optional[str] = None) -> StoredItem:
+        """Store new data on a preferred or any online disk with room."""
+        candidates: list[Archive] = []
+        if prefer is not None:
+            candidates.append(self.archive(prefer))
+        candidates.extend(
+            archive for archive in self.online_disks() if archive.archive_id != prefer
+        )
+        last_error: Optional[Exception] = None
+        for archive in candidates:
+            if not archive.online:
+                continue
+            left = archive.capacity_left
+            if left is not None and left < len(payload):
+                continue
+            try:
+                return archive.store(rel_path, payload)
+            except ArchiveError as exc:
+                last_error = exc
+        raise ArchiveError(f"no archive can hold {rel_path!r}: {last_error}")
+
+    # -- retrieval --------------------------------------------------------------
+
+    def retrieve(self, archive_id: str, rel_path: str) -> bytes:
+        """Fetch bytes, transparently staging tape items via scratch."""
+        archive = self.archive(archive_id)
+        if isinstance(archive, TapeArchive):
+            archive.stage(rel_path)
+        return archive.retrieve(rel_path)
+
+    def local_path(self, archive_id: str, rel_path: str) -> Path:
+        """A direct path for external programs; stages tape items first."""
+        archive = self.archive(archive_id)
+        if isinstance(archive, TapeArchive):
+            archive.stage(rel_path)
+            if self._scratch is not None:
+                scratch_rel = f"{archive_id}/{rel_path}"
+                if not self._scratch.exists(scratch_rel):
+                    self._scratch.store(scratch_rel, archive.retrieve(rel_path))
+                return self._scratch.local_path(scratch_rel)
+        return archive.local_path(rel_path)
+
+    # -- migration ----------------------------------------------------------------
+
+    def migrate(self, rel_path: str, from_id: str, to_id: str) -> MigrationResult:
+        """Move one item between archives.
+
+        Copy-verify-delete with compensation: the source is removed only
+        after the destination copy's checksum matches; on failure the
+        destination copy is removed (the paper's §5.2 "compensating
+        actions are taken if failures occur").
+        """
+        source = self.archive(from_id)
+        destination = self.archive(to_id)
+        if isinstance(source, TapeArchive):
+            source.stage(rel_path)
+        payload = source.retrieve(rel_path)
+        expected = checksum_bytes(payload)
+        item = destination.store(rel_path, payload)
+        if item.checksum != expected:
+            # Compensation: never leave a corrupt copy behind.
+            destination.remove(rel_path)
+            raise ArchiveError(
+                f"checksum mismatch migrating {rel_path!r} {from_id}->{to_id}"
+            )
+        source.remove(rel_path)
+        result = MigrationResult(rel_path, from_id, to_id, item.size, item.checksum)
+        self.migrations.append(result)
+        return result
+
+    # -- backup/restore ----------------------------------------------------------
+
+    def backup(self, archive_id: str, backup_id: str) -> int:
+        """Copy every item of one archive into a backup archive."""
+        source = self.archive(archive_id)
+        destination = self.archive(backup_id)
+        copied = 0
+        for rel_path in source.list_items():
+            if destination.exists(rel_path):
+                continue
+            if isinstance(source, TapeArchive):
+                source.stage(rel_path)
+            destination.store(rel_path, source.retrieve(rel_path))
+            copied += 1
+        return copied
+
+    def restore(self, backup_id: str, archive_id: str) -> int:
+        """Restore missing items of an archive from its backup."""
+        return StorageManager.backup(self, backup_id, archive_id)
+
+    def total_status(self) -> list[dict]:
+        return [archive.status() for archive in self._archives.values()]

@@ -1,0 +1,20 @@
+"""A from-scratch subset of the FITS (Flexible Image Transport System)
+format — the container format of RHESSI raw-data units (paper §2.1)."""
+
+from .cards import BLOCK_LENGTH, CARD_LENGTH, FitsError, Header, format_card, parse_card
+from .file import FitsFile, read, write
+from .hdu import BinTableHDU, PrimaryHDU
+
+__all__ = [
+    "BLOCK_LENGTH",
+    "BinTableHDU",
+    "CARD_LENGTH",
+    "FitsError",
+    "FitsFile",
+    "Header",
+    "PrimaryHDU",
+    "format_card",
+    "parse_card",
+    "read",
+    "write",
+]

@@ -1,0 +1,28 @@
+"""A miniature IDL-like interpreted language and server.
+
+Stands in for IDL 5.4 + the Solar SoftWare tree: a real lexer/parser/
+evaluator over numpy arrays, with ``hsi_*`` analysis builtins and a
+lifecycle-managed server wrapper the Processing Logic controls.
+"""
+
+from .interpreter import IdlResourceError, IdlRuntimeError, Interpreter
+from .lexer import IdlSyntaxError, Token, tokenize
+from .parser import parse
+from .server import IdlServer, IdlServerError, InvocationResult, ServerState
+from .ssw import SSW_IDL_SOURCE, SswLibrary
+
+__all__ = [
+    "IdlResourceError",
+    "IdlRuntimeError",
+    "IdlServer",
+    "IdlServerError",
+    "IdlSyntaxError",
+    "Interpreter",
+    "InvocationResult",
+    "SSW_IDL_SOURCE",
+    "ServerState",
+    "SswLibrary",
+    "Token",
+    "parse",
+    "tokenize",
+]

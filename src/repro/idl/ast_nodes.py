@@ -1,0 +1,119 @@
+"""AST node definitions for the IDL-like language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Node:
+    line: int = 0
+
+
+# -- expressions ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class Variable(Node):
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class ArrayLiteral(Node):
+    elements: tuple = ()
+
+
+@dataclass(frozen=True)
+class BinaryOp(Node):
+    op: str = ""
+    left: Node = None
+    right: Node = None
+
+
+@dataclass(frozen=True)
+class UnaryOp(Node):
+    op: str = ""
+    operand: Node = None
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    """Function call ``name(args)``; also array indexing in IDL syntax
+    (``x(3)``), disambiguated at evaluation time."""
+
+    name: str = ""
+    args: tuple = ()
+
+
+@dataclass(frozen=True)
+class Index(Node):
+    """Bracket indexing ``x[i]`` or slicing ``x[a:b]``."""
+
+    target: Node = None
+    start: Optional[Node] = None
+    stop: Optional[Node] = None
+    is_slice: bool = False
+
+
+# -- statements -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign(Node):
+    name: str = ""
+    value: Node = None
+
+
+@dataclass(frozen=True)
+class IndexAssign(Node):
+    name: str = ""
+    index: Node = None
+    value: Node = None
+
+
+@dataclass(frozen=True)
+class ProcCall(Node):
+    """Procedure-style call: ``print, x, y`` or ``my_pro, a``."""
+
+    name: str = ""
+    args: tuple = ()
+
+
+@dataclass(frozen=True)
+class If(Node):
+    condition: Node = None
+    then_body: tuple = ()
+    else_body: tuple = ()
+
+
+@dataclass(frozen=True)
+class For(Node):
+    variable: str = ""
+    start: Node = None
+    stop: Node = None
+    body: tuple = ()
+
+
+@dataclass(frozen=True)
+class While(Node):
+    condition: Node = None
+    body: tuple = ()
+
+
+@dataclass(frozen=True)
+class Return(Node):
+    value: Optional[Node] = None
+
+
+@dataclass(frozen=True)
+class ProcedureDef(Node):
+    name: str = ""
+    params: tuple = ()
+    body: tuple = ()
+    is_function: bool = False

@@ -1,0 +1,343 @@
+"""Evaluator for the IDL-like language.
+
+Arrays are numpy arrays; scalars are Python ints/floats/strings.  A step
+budget bounds runaway programs (the PL's "resource drain" error handling,
+paper §5.1): every statement and loop iteration costs a step, and
+exceeding the budget raises :class:`IdlResourceError`, which the IDL
+server manager maps to a restart.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from .ast_nodes import (
+    ArrayLiteral,
+    Assign,
+    BinaryOp,
+    Call,
+    For,
+    If,
+    Index,
+    IndexAssign,
+    Literal,
+    Node,
+    ProcCall,
+    ProcedureDef,
+    Return,
+    UnaryOp,
+    Variable,
+    While,
+)
+from .parser import parse
+
+
+class IdlRuntimeError(Exception):
+    """Error raised during IDL evaluation."""
+
+
+class IdlResourceError(IdlRuntimeError):
+    """Step budget or wall-clock deadline exceeded."""
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+def _idl_truth(value: Any) -> bool:
+    if isinstance(value, np.ndarray):
+        return bool(value.all()) if value.size else False
+    return bool(value)
+
+
+class Interpreter:
+    """One IDL session: variables, user procedures, builtins."""
+
+    def __init__(self, step_budget: int = 2_000_000, deadline_s: Optional[float] = None):
+        self.globals: dict[str, Any] = {}
+        self.procedures: dict[str, ProcedureDef] = {}
+        self.builtins: dict[str, Callable] = {}
+        self.printed: list[str] = []
+        self.step_budget = step_budget
+        self.deadline_s = deadline_s
+        self._steps = 0
+        self._deadline_at: Optional[float] = None
+        self._install_standard_builtins()
+
+    # -- public API -------------------------------------------------------
+
+    def register_builtin(self, name: str, function: Callable) -> None:
+        """Expose a Python callable as an IDL function/procedure."""
+        self.builtins[name.lower()] = function
+
+    def run(self, source: str) -> Any:
+        """Parse and execute source; returns the last expression value."""
+        self._steps = 0
+        if self.deadline_s is not None:
+            self._deadline_at = time.monotonic() + self.deadline_s
+        nodes = parse(source)
+        result: Any = None
+        for node in nodes:
+            if isinstance(node, ProcedureDef):
+                self.procedures[node.name] = node
+            else:
+                result = self._exec(node, self.globals)
+        return result
+
+    def call(self, name: str, *args: Any) -> Any:
+        """Call a defined function/procedure or builtin directly."""
+        self._steps = 0
+        if self.deadline_s is not None:
+            self._deadline_at = time.monotonic() + self.deadline_s
+        return self._invoke(name.lower(), list(args), line=0)
+
+    @property
+    def steps_used(self) -> int:
+        return self._steps
+
+    # -- execution ----------------------------------------------------------
+
+    def _tick(self, line: int) -> None:
+        self._steps += 1
+        if self._steps > self.step_budget:
+            raise IdlResourceError(f"step budget exhausted at line {line}")
+        if self._deadline_at is not None and self._steps % 1024 == 0:
+            if time.monotonic() > self._deadline_at:
+                raise IdlResourceError(f"deadline exceeded at line {line}")
+
+    def _exec(self, node: Node, env: dict[str, Any]) -> Any:
+        self._tick(node.line)
+        if isinstance(node, Assign):
+            env[node.name] = self._eval(node.value, env)
+            return None
+        if isinstance(node, IndexAssign):
+            target = env.get(node.name)
+            if not isinstance(target, np.ndarray):
+                raise IdlRuntimeError(f"cannot index non-array {node.name!r}")
+            index = int(self._eval(node.index, env))
+            target[index] = self._eval(node.value, env)
+            return None
+        if isinstance(node, ProcCall):
+            if (
+                not node.args
+                and node.name not in self.procedures
+                and node.name not in self.builtins
+            ):
+                # A bare variable used as an expression statement.
+                if node.name in env:
+                    return env[node.name]
+                if node.name in self.globals:
+                    return self.globals[node.name]
+            args = [self._eval(arg, env) for arg in node.args]
+            if node.name == "print":
+                text = " ".join(self._format(arg) for arg in args)
+                self.printed.append(text)
+                return None
+            return self._invoke(node.name, args, node.line)
+        if isinstance(node, If):
+            branch = node.then_body if _idl_truth(self._eval(node.condition, env)) else node.else_body
+            result = None
+            for statement in branch:
+                result = self._exec(statement, env)
+            return result
+        if isinstance(node, For):
+            start = int(self._eval(node.start, env))
+            stop = int(self._eval(node.stop, env))
+            result = None
+            for loop_value in range(start, stop + 1):  # IDL FOR is inclusive
+                self._tick(node.line)
+                env[node.variable] = loop_value
+                for statement in node.body:
+                    result = self._exec(statement, env)
+            return result
+        if isinstance(node, While):
+            result = None
+            while _idl_truth(self._eval(node.condition, env)):
+                self._tick(node.line)
+                for statement in node.body:
+                    result = self._exec(statement, env)
+            return result
+        if isinstance(node, Return):
+            raise _ReturnSignal(None if node.value is None else self._eval(node.value, env))
+        # Expression used as a statement.
+        return self._eval(node, env)
+
+    def _invoke(self, name: str, args: list[Any], line: int) -> Any:
+        if name in self.procedures:
+            procedure = self.procedures[name]
+            if len(args) > len(procedure.params):
+                raise IdlRuntimeError(
+                    f"{name} takes {len(procedure.params)} args, got {len(args)}"
+                )
+            local_env: dict[str, Any] = dict(zip(procedure.params, args))
+            try:
+                for statement in procedure.body:
+                    self._exec(statement, local_env)
+            except _ReturnSignal as signal:
+                return signal.value
+            return None
+        if name in self.builtins:
+            try:
+                return self.builtins[name](*args)
+            except (IdlRuntimeError, IdlResourceError):
+                raise
+            except Exception as exc:
+                raise IdlRuntimeError(f"builtin {name!r} failed: {exc}") from exc
+        raise IdlRuntimeError(f"undefined procedure or function {name!r} (line {line})")
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _eval(self, node: Node, env: dict[str, Any]) -> Any:
+        self._tick(node.line)
+        if isinstance(node, Literal):
+            return node.value
+        if isinstance(node, Variable):
+            if node.name in env:
+                return env[node.name]
+            if node.name in self.globals:
+                return self.globals[node.name]
+            raise IdlRuntimeError(f"undefined variable {node.name!r} (line {node.line})")
+        if isinstance(node, ArrayLiteral):
+            return np.array([self._eval(element, env) for element in node.elements])
+        if isinstance(node, UnaryOp):
+            value = self._eval(node.operand, env)
+            if node.op == "-":
+                return -value
+            if node.op == "not":
+                return not _idl_truth(value)
+            raise IdlRuntimeError(f"unknown unary op {node.op!r}")
+        if isinstance(node, BinaryOp):
+            return self._binary(node, env)
+        if isinstance(node, Call):
+            # IDL overloads f(x): builtin/function call, else array index.
+            if node.name in self.procedures or node.name in self.builtins:
+                args = [self._eval(arg, env) for arg in node.args]
+                return self._invoke(node.name, args, node.line)
+            target = env.get(node.name, self.globals.get(node.name))
+            if isinstance(target, np.ndarray) and len(node.args) == 1:
+                return target[int(self._eval(node.args[0], env))]
+            raise IdlRuntimeError(f"undefined function {node.name!r} (line {node.line})")
+        if isinstance(node, Index):
+            target = self._eval(node.target, env)
+            if node.is_slice:
+                start = int(self._eval(node.start, env))
+                stop = int(self._eval(node.stop, env))
+                return target[start:stop + 1]  # IDL slices are inclusive
+            index = self._eval(node.start, env)
+            if isinstance(index, np.ndarray):
+                return target[index.astype(int)]
+            return target[int(index)]
+        raise IdlRuntimeError(f"cannot evaluate {type(node).__name__}")
+
+    def _binary(self, node: BinaryOp, env: dict[str, Any]) -> Any:
+        left = self._eval(node.left, env)
+        op = node.op
+        if op == "and":
+            if not _idl_truth(left):
+                return False
+            return _idl_truth(self._eval(node.right, env))
+        if op == "or":
+            if _idl_truth(left):
+                return True
+            return _idl_truth(self._eval(node.right, env))
+        right = self._eval(node.right, env)
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                # IDL integer division truncates.
+                if isinstance(left, (int, np.integer)) and isinstance(right, (int, np.integer)):
+                    return int(left // right)
+                return left / right
+            if op == "mod":
+                return left % right
+            if op == "^":
+                return left ** right
+            if op == "##":
+                return np.matmul(left, right)
+            if op == "eq":
+                return left == right
+            if op == "ne":
+                return left != right
+            if op == "lt":
+                return left < right
+            if op == "le":
+                return left <= right
+            if op == "gt":
+                return left > right
+            if op == "ge":
+                return left >= right
+        except (ZeroDivisionError, ValueError, TypeError) as exc:
+            raise IdlRuntimeError(f"arithmetic error at line {node.line}: {exc}") from exc
+        raise IdlRuntimeError(f"unknown operator {op!r}")
+
+    # -- builtins -------------------------------------------------------------
+
+    def _format(self, value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:g}"
+        if isinstance(value, np.ndarray):
+            return np.array2string(value, precision=4, threshold=8)
+        return str(value)
+
+    def _install_standard_builtins(self) -> None:
+        def _where(condition):
+            condition = np.asarray(condition)
+            return np.nonzero(condition)[0]
+
+        def _smooth(values, width):
+            values = np.asarray(values, dtype=float)
+            width = max(1, int(width))
+            kernel = np.ones(width) / width
+            return np.convolve(values, kernel, mode="same")
+
+        def _histogram(values, nbins=10):
+            counts, _edges = np.histogram(np.asarray(values, dtype=float), bins=int(nbins))
+            return counts
+
+        standard: dict[str, Callable] = {
+            "indgen": lambda n: np.arange(int(n)),
+            "findgen": lambda n: np.arange(int(n), dtype=float),
+            "fltarr": lambda n: np.zeros(int(n)),
+            "n_elements": lambda x: int(np.size(x)),
+            "total": lambda x: float(np.sum(x)),
+            "min": lambda x: float(np.min(x)),
+            "max": lambda x: float(np.max(x)),
+            "mean": lambda x: float(np.mean(x)),
+            "stddev": lambda x: float(np.std(x, ddof=1)) if np.size(x) > 1 else 0.0,
+            "median": lambda x: float(np.median(x)),
+            "sqrt": np.sqrt,
+            "abs": np.abs,
+            "exp": np.exp,
+            "alog": np.log,
+            "alog10": np.log10,
+            "sin": np.sin,
+            "cos": np.cos,
+            "tan": np.tan,
+            "atan": np.arctan,
+            "floor": lambda x: np.floor(x) if isinstance(x, np.ndarray) else math.floor(x),
+            "ceil": lambda x: np.ceil(x) if isinstance(x, np.ndarray) else math.ceil(x),
+            "round": lambda x: np.round(x) if isinstance(x, np.ndarray) else round(x),
+            "fix": lambda x: x.astype(int) if isinstance(x, np.ndarray) else int(x),
+            "float": lambda x: x.astype(float) if isinstance(x, np.ndarray) else float(x),
+            "sort": lambda x: np.argsort(x),
+            "reverse": lambda x: np.asarray(x)[::-1],
+            "where": _where,
+            "smooth": _smooth,
+            "histogram": _histogram,
+            "string": lambda x: self._format(x),
+            "strlen": lambda s: len(s),
+            "strupcase": lambda s: s.upper(),
+            "strlowcase": lambda s: s.lower(),
+            "systime": lambda: time.time(),
+        }
+        self.builtins.update(standard)

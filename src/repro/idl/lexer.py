@@ -1,0 +1,97 @@
+"""Lexer for the miniature IDL-like analysis language.
+
+The Solar SoftWare routines HEDC runs are IDL programs (paper §2.1); the
+PL treats IDL as an opaque interpreter with start/stop/timeout semantics.
+We implement a compact interpreted language with IDL's flavour — case-
+insensitive keywords, ``PRO``/``FUNCTION`` units, comma-separated
+procedure calls, ``;`` comments — so the PL manages a *real* interpreter
+with real lifecycle behaviour rather than a stub.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class IdlSyntaxError(Exception):
+    """Lexical or syntactic error in IDL source."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str    # NUMBER STRING NAME KEYWORD OP NEWLINE EOF
+    value: object
+    line: int
+
+
+KEYWORDS = {
+    "pro", "function", "end", "endif", "endelse", "endfor", "endwhile",
+    "if", "then", "else", "for", "do", "while", "begin", "return",
+    "and", "or", "not", "eq", "ne", "lt", "le", "gt", "ge", "mod",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<comment>;[^\n]*)
+    | (?P<number>\d+\.\d*(?:[eEdD][+-]?\d+)?|\.\d+(?:[eEdD][+-]?\d+)?|\d+(?:[eEdD][+-]?\d+)?)
+    | (?P<string>'(?:[^'\n]|'')*'|"(?:[^"\n]|"")*")
+    | (?P<name>[A-Za-z_][A-Za-z_0-9$]*)
+    | (?P<op>\#\#|\^|\*|\+|-|/|=|<|>|\(|\)|\[|\]|,|&|:)
+    | (?P<newline>\n)
+    | (?P<space>[ \t\r]+)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize IDL source; ``&`` and newlines both end statements."""
+    tokens: list[Token] = []
+    line = 1
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if not match:
+            raise IdlSyntaxError(f"unexpected character {source[position]!r}", line)
+        position = match.end()
+        if match.group("space") or match.group("comment"):
+            continue
+        if match.group("newline"):
+            if tokens and tokens[-1].kind != "NEWLINE":
+                tokens.append(Token("NEWLINE", "\n", line))
+            line += 1
+            continue
+        if match.group("number") is not None:
+            raw = match.group("number").lower().replace("d", "e")
+            value = float(raw) if ("." in raw or "e" in raw) else int(raw)
+            tokens.append(Token("NUMBER", value, line))
+            continue
+        if match.group("string") is not None:
+            raw = match.group("string")
+            quote = raw[0]
+            inner = raw[1:-1].replace(quote * 2, quote)
+            tokens.append(Token("STRING", inner, line))
+            continue
+        if match.group("name") is not None:
+            name = match.group("name").lower()
+            if name in KEYWORDS:
+                tokens.append(Token("KEYWORD", name, line))
+            else:
+                tokens.append(Token("NAME", name, line))
+            continue
+        operator = match.group("op")
+        if operator == "&":
+            if tokens and tokens[-1].kind != "NEWLINE":
+                tokens.append(Token("NEWLINE", "&", line))
+            continue
+        tokens.append(Token("OP", operator, line))
+    if tokens and tokens[-1].kind != "NEWLINE":
+        tokens.append(Token("NEWLINE", "\n", line))
+    tokens.append(Token("EOF", None, line))
+    return tokens

@@ -1,0 +1,348 @@
+"""Recursive-descent parser for the IDL-like language."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast_nodes import (
+    ArrayLiteral,
+    Assign,
+    BinaryOp,
+    Call,
+    For,
+    If,
+    Index,
+    IndexAssign,
+    Literal,
+    Node,
+    ProcCall,
+    ProcedureDef,
+    Return,
+    UnaryOp,
+    Variable,
+    While,
+)
+from .lexer import IdlSyntaxError, Token, tokenize
+
+
+class Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._position]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._position]
+        if token.kind != "EOF":
+            self._position += 1
+        return token
+
+    def _accept(self, kind: str, value=None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, value=None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            actual = self._peek()
+            raise IdlSyntaxError(
+                f"expected {value or kind}, got {actual.value!r}", actual.line
+            )
+        return token
+
+    def _skip_newlines(self) -> None:
+        while self._accept("NEWLINE"):
+            pass
+
+    # -- program ------------------------------------------------------------
+
+    def parse_program(self) -> list[Node]:
+        """Top level: procedure/function definitions and loose statements."""
+        nodes: list[Node] = []
+        self._skip_newlines()
+        while self._peek().kind != "EOF":
+            token = self._peek()
+            if token.kind == "KEYWORD" and token.value in ("pro", "function"):
+                nodes.append(self._procedure_def())
+            else:
+                nodes.append(self._statement())
+            self._skip_newlines()
+        return nodes
+
+    def _procedure_def(self) -> ProcedureDef:
+        keyword = self._next()
+        is_function = keyword.value == "function"
+        name = self._expect("NAME").value
+        params: list[str] = []
+        while self._accept("OP", ","):
+            params.append(self._expect("NAME").value)
+        self._expect("NEWLINE")
+        body = self._block_until({"end"})
+        self._expect("KEYWORD", "end")
+        return ProcedureDef(
+            line=keyword.line,
+            name=name,
+            params=tuple(params),
+            body=tuple(body),
+            is_function=is_function,
+        )
+
+    def _block_until(self, terminators: set[str]) -> list[Node]:
+        body: list[Node] = []
+        self._skip_newlines()
+        while True:
+            token = self._peek()
+            if token.kind == "EOF":
+                raise IdlSyntaxError(f"missing {'/'.join(sorted(terminators))}", token.line)
+            if token.kind == "KEYWORD" and token.value in terminators:
+                return body
+            body.append(self._statement())
+            self._skip_newlines()
+
+    # -- statements ----------------------------------------------------------
+
+    def _statement(self) -> Node:
+        token = self._peek()
+        if token.kind == "KEYWORD":
+            if token.value == "if":
+                return self._if()
+            if token.value == "for":
+                return self._for()
+            if token.value == "while":
+                return self._while()
+            if token.value == "return":
+                self._next()
+                value = None
+                if self._accept("OP", ","):
+                    value = self._expression()
+                return Return(line=token.line, value=value)
+            if token.value == "not":
+                return self._expression()
+            raise IdlSyntaxError(f"unexpected keyword {token.value!r}", token.line)
+        if token.kind == "NAME":
+            return self._assignment_or_call()
+        # Bare expression statement: a literal, parenthesised expression,
+        # unary minus or array literal at statement position.
+        return self._expression()
+
+    def _assignment_or_call(self) -> Node:
+        name_token = self._expect("NAME")
+        name = name_token.value
+        if self._peek().kind == "OP" and self._peek().value == "(":
+            # Bare expression statement: ``total(y)`` — rewind and parse
+            # the whole thing as an expression.
+            self._position -= 1
+            return self._expression()
+        if self._accept("OP", "="):
+            value = self._expression()
+            return Assign(line=name_token.line, name=name, value=value)
+        if self._peek().kind == "OP" and self._peek().value == "[":
+            # Indexed assignment ``x[i] = v``, or an indexing expression
+            # used as a statement (``x[1]``) — decide after the bracket.
+            saved = self._position
+            self._next()
+            index = self._expression()
+            if self._peek().kind == "OP" and self._peek().value == ":":
+                # A slice can never be assigned to in this dialect; it is
+                # an expression statement.
+                self._position = saved - 1
+                return self._expression()
+            self._expect("OP", "]")
+            if self._accept("OP", "="):
+                value = self._expression()
+                return IndexAssign(
+                    line=name_token.line, name=name, index=index, value=value
+                )
+            self._position = saved - 1  # rewind to the NAME
+            return self._expression()
+        token = self._peek()
+        if token.kind == "OP" and token.value in ("+", "-", "*", "/", "^", "##"):
+            # Expression statement starting with a variable: ``m ## v``.
+            self._position -= 1
+            return self._expression()
+        if token.kind == "KEYWORD" and token.value in (
+            "eq", "ne", "lt", "le", "gt", "ge", "and", "or", "mod",
+        ):
+            self._position -= 1
+            return self._expression()
+        # Procedure call: name, arg1, arg2 ...  (or bare name)
+        args: list[Node] = []
+        while self._accept("OP", ","):
+            args.append(self._expression())
+        return ProcCall(line=name_token.line, name=name, args=tuple(args))
+
+    def _statement_or_block(self) -> tuple:
+        """A single statement, or BEGIN ... END block."""
+        if self._accept("KEYWORD", "begin"):
+            self._skip_newlines()
+            body = self._block_until({"end", "endif", "endelse", "endfor", "endwhile"})
+            self._next()  # consume the terminator
+            return tuple(body)
+        return (self._statement(),)
+
+    def _if(self) -> If:
+        token = self._expect("KEYWORD", "if")
+        condition = self._expression()
+        self._expect("KEYWORD", "then")
+        then_body = self._statement_or_block()
+        else_body: tuple = ()
+        self._skip_newlines()
+        if self._accept("KEYWORD", "else"):
+            else_body = self._statement_or_block()
+        return If(line=token.line, condition=condition, then_body=then_body, else_body=else_body)
+
+    def _for(self) -> For:
+        token = self._expect("KEYWORD", "for")
+        variable = self._expect("NAME").value
+        self._expect("OP", "=")
+        start = self._expression()
+        self._expect("OP", ",")
+        stop = self._expression()
+        self._expect("KEYWORD", "do")
+        body = self._statement_or_block()
+        return For(line=token.line, variable=variable, start=start, stop=stop, body=body)
+
+    def _while(self) -> While:
+        token = self._expect("KEYWORD", "while")
+        condition = self._expression()
+        self._expect("KEYWORD", "do")
+        body = self._statement_or_block()
+        return While(line=token.line, condition=condition, body=body)
+
+    # -- expressions (precedence climbing) -------------------------------------
+
+    def _expression(self) -> Node:
+        return self._or()
+
+    def _or(self) -> Node:
+        left = self._and()
+        while True:
+            token = self._accept("KEYWORD", "or")
+            if token is None:
+                return left
+            left = BinaryOp(line=token.line, op="or", left=left, right=self._and())
+
+    def _and(self) -> Node:
+        left = self._not()
+        while True:
+            token = self._accept("KEYWORD", "and")
+            if token is None:
+                return left
+            left = BinaryOp(line=token.line, op="and", left=left, right=self._not())
+
+    def _not(self) -> Node:
+        token = self._accept("KEYWORD", "not")
+        if token is not None:
+            return UnaryOp(line=token.line, op="not", operand=self._not())
+        return self._comparison()
+
+    _COMPARISONS = {"eq": "eq", "ne": "ne", "lt": "lt", "le": "le", "gt": "gt", "ge": "ge"}
+
+    def _comparison(self) -> Node:
+        left = self._additive()
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.value in self._COMPARISONS:
+            self._next()
+            right = self._additive()
+            return BinaryOp(line=token.line, op=token.value, left=left, right=right)
+        return left
+
+    def _additive(self) -> Node:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.value in ("+", "-"):
+                self._next()
+                left = BinaryOp(
+                    line=token.line, op=token.value, left=left, right=self._multiplicative()
+                )
+            else:
+                return left
+
+    def _multiplicative(self) -> Node:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.value in ("*", "/", "##"):
+                self._next()
+                left = BinaryOp(line=token.line, op=token.value, left=left, right=self._unary())
+            elif token.kind == "KEYWORD" and token.value == "mod":
+                self._next()
+                left = BinaryOp(line=token.line, op="mod", left=left, right=self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Node:
+        token = self._peek()
+        if token.kind == "OP" and token.value == "-":
+            self._next()
+            return UnaryOp(line=token.line, op="-", operand=self._unary())
+        if token.kind == "OP" and token.value == "+":
+            self._next()
+            return self._unary()
+        return self._power()
+
+    def _power(self) -> Node:
+        base = self._postfix()
+        token = self._peek()
+        if token.kind == "OP" and token.value == "^":
+            self._next()
+            return BinaryOp(line=token.line, op="^", left=base, right=self._unary())
+        return base
+
+    def _postfix(self) -> Node:
+        node = self._primary()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.value == "[":
+                self._next()
+                start = self._expression()
+                if self._accept("OP", ":"):
+                    stop = self._expression()
+                    self._expect("OP", "]")
+                    node = Index(line=token.line, target=node, start=start, stop=stop, is_slice=True)
+                else:
+                    self._expect("OP", "]")
+                    node = Index(line=token.line, target=node, start=start)
+            else:
+                return node
+
+    def _primary(self) -> Node:
+        token = self._next()
+        if token.kind == "NUMBER" or token.kind == "STRING":
+            return Literal(line=token.line, value=token.value)
+        if token.kind == "OP" and token.value == "(":
+            inner = self._expression()
+            self._expect("OP", ")")
+            return inner
+        if token.kind == "OP" and token.value == "[":
+            elements = [self._expression()]
+            while self._accept("OP", ","):
+                elements.append(self._expression())
+            self._expect("OP", "]")
+            return ArrayLiteral(line=token.line, elements=tuple(elements))
+        if token.kind == "NAME":
+            if self._peek().kind == "OP" and self._peek().value == "(":
+                self._next()
+                args: list[Node] = []
+                if not (self._peek().kind == "OP" and self._peek().value == ")"):
+                    args.append(self._expression())
+                    while self._accept("OP", ","):
+                        args.append(self._expression())
+                self._expect("OP", ")")
+                return Call(line=token.line, name=token.value, args=tuple(args))
+            return Variable(line=token.line, name=token.value)
+        raise IdlSyntaxError(f"unexpected token {token.value!r}", token.line)
+
+
+def parse(source: str) -> list[Node]:
+    """Parse IDL source into a list of top-level nodes."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,117 @@
+"""The simulated Solar SoftWare (SSW) library.
+
+SSW is the analysis package distributed with RHESSI data (paper §2.1).
+Here it is the bridge between the IDL interpreter and the numpy analysis
+kernels: :class:`SswLibrary` binds a photon list into an interpreter
+session and registers ``hsi_*`` builtins over it, plus a small library of
+routines written *in the IDL language itself* — demonstrating the paper's
+point that users submit their own analysis routines for inclusion
+(§3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..analysis import back_projection, histogram, lightcurve, spectrogram
+from ..rhessi.photons import PhotonList
+from .interpreter import IdlRuntimeError, Interpreter
+
+#: Routines shipped as IDL source — loaded into every server session.
+SSW_IDL_SOURCE = """
+; Solar SoftWare (simulated) - IDL-level helper routines.
+
+function flare_hardness, energies
+  ; ratio of counts above 25 keV to counts below - crude hardness proxy
+  hi = n_elements(where(energies ge 25.0))
+  lo = n_elements(where(energies lt 25.0))
+  if lo eq 0 then return, 0.0
+  return, float(hi) / float(lo)
+end
+
+function peak_rate, rates
+  return, max(rates)
+end
+
+function background_subtract, rates, width
+  bg = smooth(rates, width)
+  return, rates - bg
+end
+
+pro summarize_counts, counts
+  print, 'total counts', total(counts)
+  print, 'peak', max(counts)
+end
+"""
+
+
+class SswLibrary:
+    """Binds photon data into an interpreter and registers analysis builtins."""
+
+    def __init__(self, interpreter: Interpreter):
+        self.interpreter = interpreter
+        self._photons: Optional[PhotonList] = None
+        self._register_builtins()
+        interpreter.run(SSW_IDL_SOURCE)
+
+    def bind_photons(self, photons: PhotonList) -> None:
+        """Make ``photons`` the current data set of the session."""
+        self._photons = photons
+        self.interpreter.globals["ph_times"] = photons.times
+        self.interpreter.globals["ph_energies"] = photons.energies.astype(np.float64)
+        self.interpreter.globals["ph_detectors"] = photons.detectors.astype(np.int64)
+
+    def _require_photons(self) -> PhotonList:
+        if self._photons is None:
+            raise IdlRuntimeError("no photon data bound; call bind_photons first")
+        return self._photons
+
+    def _register_builtins(self) -> None:
+        interpreter = self.interpreter
+
+        def hsi_lightcurve(bin_width=4.0):
+            photons = self._require_photons()
+            curve = lightcurve(photons, bin_width_s=float(bin_width))
+            return curve.total_rate()
+
+        def hsi_spectrogram(time_bin=4.0, n_energy_bins=32):
+            photons = self._require_photons()
+            result = spectrogram(
+                photons, time_bin_s=float(time_bin), n_energy_bins=int(n_energy_bins)
+            )
+            return result.counts
+
+        def hsi_histogram(attribute="energy", n_bins=64):
+            photons = self._require_photons()
+            result = histogram(photons, attribute=str(attribute), n_bins=int(n_bins))
+            return result.counts
+
+        def hsi_image(n_pixels=32, extent=2048.0, center_x=0.0, center_y=0.0):
+            photons = self._require_photons()
+            result = back_projection(
+                photons,
+                n_pixels=int(n_pixels),
+                extent_arcsec=float(extent),
+                center_arcsec=(float(center_x), float(center_y)),
+                source_position=(float(center_x), float(center_y)),
+            )
+            return result.image
+
+        def hsi_select_energy(low, high):
+            photons = self._require_photons()
+            self.bind_photons(photons.select_energy(float(low), float(high)))
+            return len(self._photons)
+
+        def hsi_select_time(start, end):
+            photons = self._require_photons()
+            self.bind_photons(photons.select_time(float(start), float(end)))
+            return len(self._photons)
+
+        interpreter.register_builtin("hsi_lightcurve", hsi_lightcurve)
+        interpreter.register_builtin("hsi_spectrogram", hsi_spectrogram)
+        interpreter.register_builtin("hsi_histogram", hsi_histogram)
+        interpreter.register_builtin("hsi_image", hsi_image)
+        interpreter.register_builtin("hsi_select_energy", hsi_select_energy)
+        interpreter.register_builtin("hsi_select_time", hsi_select_time)

@@ -1,0 +1,75 @@
+"""An embedded relational database for HEDC metadata.
+
+Plays the role Oracle 8.1.7 plays in the paper: it stores the metadata
+(never the bulk science data), offers indexes and a declarative query
+interface, and sits behind the DM's database adapter.
+"""
+
+from .database import Database, DatabaseStats
+from .errors import (
+    ClosedError,
+    DatabaseError,
+    IntegrityError,
+    LockTimeout,
+    QueryError,
+    SchemaError,
+    TransactionError,
+)
+from .pool import Connection, ConnectionPool, PoolSet
+from .replication import ReplicatedDatabase, clone_database
+from .predicate import (
+    ALWAYS,
+    And,
+    Between,
+    Comparison,
+    In,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    Predicate,
+)
+from .query import Aggregate, Delete, Insert, Join, Select, Update
+from .schema import Column, ForeignKey, TableSchema
+from .sql import parse, to_sql
+from .types import ColumnType, coerce
+
+__all__ = [
+    "ALWAYS",
+    "Aggregate",
+    "And",
+    "Between",
+    "ClosedError",
+    "Column",
+    "ColumnType",
+    "Comparison",
+    "Connection",
+    "ConnectionPool",
+    "Database",
+    "DatabaseError",
+    "DatabaseStats",
+    "Delete",
+    "ForeignKey",
+    "In",
+    "Insert",
+    "IntegrityError",
+    "IsNull",
+    "Join",
+    "Like",
+    "LockTimeout",
+    "Not",
+    "Or",
+    "PoolSet",
+    "Predicate",
+    "QueryError",
+    "ReplicatedDatabase",
+    "SchemaError",
+    "Select",
+    "TableSchema",
+    "TransactionError",
+    "Update",
+    "clone_database",
+    "coerce",
+    "parse",
+    "to_sql",
+]

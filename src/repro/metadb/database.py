@@ -1,0 +1,359 @@
+"""The embedded database facade.
+
+:class:`Database` binds schemas, storage, the query engine, transactions
+and WAL persistence together and is what the DM's database adapter talks
+to.  It is thread-safe (one big lock — adequate for the embedded setting)
+and keeps the operation counters the evaluation harness reports
+("120 HEDC database queries per second", paper §7.3).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from .errors import ClosedError, IntegrityError, SchemaError, TransactionError
+from .query import Delete, Insert, Select, Update, execute_select, plan_select
+from .schema import TableSchema
+from .sql import Statement, parse
+from .storage import Table
+from .transactions import Transaction, TxState
+from .wal import Journal
+
+
+class DatabaseStats:
+    """Operation counters, reset-able between measurement windows."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.selects = 0
+        self.inserts = 0
+        self.updates = 0
+        self.deletes = 0
+        self.transactions_committed = 0
+        self.transactions_rolled_back = 0
+        self.rows_read = 0
+        self.rows_written = 0
+
+    @property
+    def queries(self) -> int:
+        """Total statements executed (the paper's 'database queries')."""
+        return self.selects + self.inserts + self.updates + self.deletes
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "selects": self.selects,
+            "inserts": self.inserts,
+            "updates": self.updates,
+            "deletes": self.deletes,
+            "queries": self.queries,
+            "transactions_committed": self.transactions_committed,
+            "transactions_rolled_back": self.transactions_rolled_back,
+            "rows_read": self.rows_read,
+            "rows_written": self.rows_written,
+        }
+
+
+class Database:
+    """An embedded relational database instance.
+
+    ``path=None`` gives a volatile in-memory database; a path enables WAL
+    persistence with snapshot/journal recovery on open.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None, name: str = "metadb"):
+        self.name = name
+        self._lock = threading.RLock()
+        self._tables: dict[str, Table] = {}
+        self._closed = False
+        self._next_tx_id = 1
+        self._sequences: dict[tuple[str, str], int] = {}
+        self.stats = DatabaseStats()
+        self._journal: Optional[Journal] = None
+        if path is not None:
+            self._journal = Journal(Path(path))
+            self._recover()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._journal is not None:
+                self._journal.close()
+            self._closed = True
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ClosedError(f"database {self.name!r} is closed")
+
+    def _recover(self) -> None:
+        snapshot = self._journal.load_snapshot()
+        if snapshot is not None:
+            for table_data in snapshot["tables"].values():
+                schema = TableSchema.from_dict(table_data["schema"])
+                table = Table(schema)
+                for rowid, row in sorted(table_data["rows"].items()):
+                    table.restore(rowid, row)
+                self._tables[schema.name] = table
+        for record in self._journal.replay():
+            operation = record["op"]
+            if operation == "__ddl__":
+                if record["kind"] == "create_table":
+                    schema = TableSchema.from_dict(record["schema"])
+                    self._tables[schema.name] = Table(schema)
+                elif record["kind"] == "drop_table":
+                    self._tables.pop(record["table"], None)
+                continue
+            table = self._tables[record["table"]]
+            if operation == "insert":
+                table.restore(record["rowid"], record["row"])
+            elif operation == "update":
+                table.update(record["rowid"], record["changes"])
+            elif operation == "delete":
+                table.delete(record["rowid"])
+
+    def checkpoint(self) -> None:
+        """Write a snapshot and truncate the journal."""
+        with self._lock:
+            self._require_open()
+            if self._journal is None:
+                return
+            snapshot = {
+                "tables": {
+                    name: {
+                        "schema": table.schema.to_dict(),
+                        "rows": {rowid: table.row(rowid) for rowid in table.rowids()},
+                    }
+                    for name, table in self._tables.items()
+                }
+            }
+            self._journal.checkpoint(snapshot)
+
+    # -- DDL --------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> None:
+        with self._lock:
+            self._require_open()
+            if schema.name in self._tables:
+                raise SchemaError(f"table {schema.name!r} already exists")
+            for fk in schema.foreign_keys:
+                if fk.ref_table != schema.name and fk.ref_table not in self._tables:
+                    raise SchemaError(
+                        f"foreign key references unknown table {fk.ref_table!r}"
+                    )
+            self._tables[schema.name] = Table(schema)
+            if self._journal is not None:
+                self._journal.append_ddl(
+                    {"kind": "create_table", "schema": schema.to_dict()}
+                )
+
+    def drop_table(self, name: str) -> None:
+        with self._lock:
+            self._require_open()
+            if name not in self._tables:
+                raise SchemaError(f"unknown table {name!r}")
+            for other in self._tables.values():
+                if other.name == name:
+                    continue
+                for fk in other.schema.foreign_keys:
+                    if fk.ref_table == name:
+                        raise SchemaError(
+                            f"cannot drop {name!r}: referenced by {other.name!r}"
+                        )
+            del self._tables[name]
+            if self._journal is not None:
+                self._journal.append_ddl({"kind": "drop_table", "table": name})
+
+    def table(self, name: str) -> Table:
+        with self._lock:
+            self._require_open()
+            if name not in self._tables:
+                raise SchemaError(f"unknown table {name!r}")
+            return self._tables[name]
+
+    def table_names(self) -> list[str]:
+        with self._lock:
+            self._require_open()
+            return sorted(self._tables)
+
+    def has_table(self, name: str) -> bool:
+        with self._lock:
+            return name in self._tables
+
+    # -- id allocation --------------------------------------------------------------
+
+    def allocate_id(self, table: str, column: str) -> int:
+        """Atomically allocate the next integer id for ``table.column``.
+
+        Safe across every component sharing this database instance (the
+        multi-DM-node configuration of §7.3): the counter is seeded from
+        the column maximum once, then incremented under the database
+        lock.
+        """
+        with self._lock:
+            self._require_open()
+            key = (table, column)
+            if key not in self._sequences:
+                current_max = 0
+                for row in self.table(table).rows():
+                    value = row.get(column)
+                    if isinstance(value, int) and value > current_max:
+                        current_max = value
+                self._sequences[key] = current_max
+            self._sequences[key] += 1
+            return self._sequences[key]
+
+    # -- transactions -------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        with self._lock:
+            self._require_open()
+            tx = Transaction(self._next_tx_id)
+            self._next_tx_id += 1
+            return tx
+
+    def commit(self, tx: Transaction) -> None:
+        with self._lock:
+            self._require_open()
+            tx.mark_committed()
+            if self._journal is not None and tx.redo:
+                self._journal.append_transaction(tx.tx_id, tx.redo)
+            self.stats.transactions_committed += 1
+
+    def rollback(self, tx: Transaction) -> None:
+        with self._lock:
+            self._require_open()
+            for entry in tx.undo_operations():
+                operation, table_name = entry[0], entry[1]
+                table = self._tables[table_name]
+                if operation == "insert":
+                    table.delete(entry[2])
+                elif operation == "update":
+                    rowid, old_row = entry[2], entry[3]
+                    table.delete(rowid)
+                    table.restore(rowid, old_row)
+                elif operation == "delete":
+                    table.restore(entry[2], entry[3])
+            tx.mark_rolled_back()
+            self.stats.transactions_rolled_back += 1
+
+    # -- FK enforcement ------------------------------------------------------------
+
+    def _check_fk_on_write(self, table: Table, row: dict[str, Any]) -> None:
+        for fk in table.schema.foreign_keys:
+            value = row.get(fk.column)
+            if value is None:
+                continue
+            ref_table = self._tables.get(fk.ref_table)
+            if ref_table is None or not ref_table.exists_value(fk.ref_column, value):
+                raise IntegrityError(
+                    f"foreign key violation: {table.name}.{fk.column}={value!r} "
+                    f"has no match in {fk.ref_table}.{fk.ref_column}"
+                )
+
+    def _check_fk_on_delete(self, table: Table, row: dict[str, Any]) -> None:
+        for other in self._tables.values():
+            for fk in other.schema.foreign_keys:
+                if fk.ref_table != table.name:
+                    continue
+                value = row.get(fk.ref_column)
+                if value is None:
+                    continue
+                if other.exists_value(fk.column, value):
+                    raise IntegrityError(
+                        f"restrict violation: {other.name}.{fk.column} still "
+                        f"references {table.name}.{fk.ref_column}={value!r}"
+                    )
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(
+        self,
+        statement: Union[Statement, str],
+        tx: Optional[Transaction] = None,
+    ) -> Any:
+        """Execute a collection-object statement or SQL text.
+
+        SELECT returns a list of row dicts.  INSERT returns the new rowid.
+        UPDATE/DELETE return the affected row count.  Without ``tx`` the
+        statement autocommits.
+        """
+        if isinstance(statement, str):
+            statement = parse(statement)
+        with self._lock:
+            self._require_open()
+            if tx is not None and tx.state is not TxState.ACTIVE:
+                raise TransactionError("transaction is not active")
+            if isinstance(statement, Select):
+                rows = execute_select(self._tables, statement)
+                self.stats.selects += 1
+                self.stats.rows_read += len(rows)
+                return rows
+            autocommit = tx is None
+            local_tx = tx or self.begin()
+            try:
+                result = self._execute_mutation(statement, local_tx)
+            except Exception:
+                if autocommit:
+                    self.rollback(local_tx)
+                raise
+            if autocommit:
+                self.commit(local_tx)
+            return result
+
+    def _execute_mutation(self, statement: Statement, tx: Transaction) -> Any:
+        if isinstance(statement, Insert):
+            table = self.table(statement.table)
+            row = table.schema.normalize_row(statement.values)
+            self._check_fk_on_write(table, row)
+            rowid = table.insert(statement.values)
+            tx.log_insert(table.name, rowid, table.row(rowid))
+            self.stats.inserts += 1
+            self.stats.rows_written += 1
+            return rowid
+        if isinstance(statement, Update):
+            table = self.table(statement.table)
+            where = statement.where
+            target_rowids = [
+                rowid
+                for rowid in table.rowids()
+                if where is None or where.matches(table.row(rowid))
+            ]
+            preview = table.schema.normalize_row(statement.changes, for_update=True)
+            for rowid in target_rowids:
+                merged = {**table.row(rowid), **preview}
+                self._check_fk_on_write(table, merged)
+                old_row = table.update(rowid, statement.changes)
+                tx.log_update(table.name, rowid, old_row, statement.changes)
+            self.stats.updates += 1
+            self.stats.rows_written += len(target_rowids)
+            return len(target_rowids)
+        if isinstance(statement, Delete):
+            table = self.table(statement.table)
+            where = statement.where
+            target_rowids = [
+                rowid
+                for rowid in table.rowids()
+                if where is None or where.matches(table.row(rowid))
+            ]
+            for rowid in target_rowids:
+                self._check_fk_on_delete(table, table.row(rowid))
+                old_row = table.delete(rowid)
+                tx.log_delete(table.name, rowid, old_row)
+            self.stats.deletes += 1
+            self.stats.rows_written += len(target_rowids)
+            return len(target_rowids)
+        raise SchemaError(f"cannot execute {statement!r}")
+
+    def explain(self, select: Union[Select, str]) -> str:
+        """EXPLAIN: describe the access path the planner would choose."""
+        if isinstance(select, str):
+            select = parse(select)
+        if not isinstance(select, Select):
+            raise SchemaError("explain only applies to SELECT")
+        with self._lock:
+            table = self.table(select.table)
+            return plan_select(table, select).describe()

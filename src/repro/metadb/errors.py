@@ -1,0 +1,31 @@
+"""Exception hierarchy for the embedded metadata database."""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for all metadb errors."""
+
+
+class SchemaError(DatabaseError):
+    """Invalid schema definition or unknown table/column."""
+
+
+class IntegrityError(DatabaseError):
+    """Constraint violation: primary key, unique, not-null, foreign key."""
+
+
+class QueryError(DatabaseError):
+    """Malformed query or SQL text."""
+
+
+class TransactionError(DatabaseError):
+    """Invalid transaction state transition."""
+
+
+class LockTimeout(DatabaseError):
+    """A lock could not be acquired in time."""
+
+
+class ClosedError(DatabaseError):
+    """Operation attempted on a closed database or connection."""

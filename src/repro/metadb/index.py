@@ -1,0 +1,136 @@
+"""Secondary index structures.
+
+Two flavours back the query planner:
+
+* :class:`HashIndex` — O(1) equality probes; used for primary keys and
+  unique constraints.
+* :class:`OrderedIndex` — a sorted (key, rowid) list with bisect-based
+  range scans; used for range predicates and ORDER BY shortcuts.
+
+Both map index keys to sets of internal rowids.  ``None`` keys are kept in
+a side bucket so that IS NULL probes stay cheap while range scans skip
+nulls (SQL semantics).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Hashable, Iterable, Iterator, Optional, Sequence
+
+from .errors import IntegrityError
+
+
+class HashIndex:
+    """Equality index over one or more columns."""
+
+    def __init__(self, columns: Sequence[str], unique: bool = False, name: str = ""):
+        self.columns = tuple(columns)
+        self.unique = unique
+        self.name = name or ("uq_" if unique else "ix_") + "_".join(columns)
+        self._map: dict[Hashable, set[int]] = {}
+        self._nulls: set[int] = set()
+
+    def key_of(self, row: dict[str, Any]) -> Optional[Hashable]:
+        values = tuple(row.get(column) for column in self.columns)
+        if any(value is None for value in values):
+            return None
+        return values if len(values) > 1 else values[0]
+
+    def insert(self, rowid: int, row: dict[str, Any]) -> None:
+        key = self.key_of(row)
+        if key is None:
+            self._nulls.add(rowid)
+            return
+        bucket = self._map.setdefault(key, set())
+        if self.unique and bucket:
+            raise IntegrityError(
+                f"unique violation on ({', '.join(self.columns)}) = {key!r}"
+            )
+        bucket.add(rowid)
+
+    def remove(self, rowid: int, row: dict[str, Any]) -> None:
+        key = self.key_of(row)
+        if key is None:
+            self._nulls.discard(rowid)
+            return
+        bucket = self._map.get(key)
+        if bucket is not None:
+            bucket.discard(rowid)
+            if not bucket:
+                del self._map[key]
+
+    def probe(self, key: Hashable) -> set[int]:
+        return set(self._map.get(key, ()))
+
+    def nulls(self) -> set[int]:
+        return set(self._nulls)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._map.values()) + len(self._nulls)
+
+
+class OrderedIndex:
+    """Single-column ordered index supporting range scans."""
+
+    def __init__(self, column: str, name: str = ""):
+        self.column = column
+        self.name = name or f"ox_{column}"
+        self._keys: list[Any] = []
+        self._rowids: list[int] = []
+        self._nulls: set[int] = set()
+
+    def insert(self, rowid: int, row: dict[str, Any]) -> None:
+        key = row.get(self.column)
+        if key is None:
+            self._nulls.add(rowid)
+            return
+        position = bisect.bisect_right(self._keys, key)
+        self._keys.insert(position, key)
+        self._rowids.insert(position, rowid)
+
+    def remove(self, rowid: int, row: dict[str, Any]) -> None:
+        key = row.get(self.column)
+        if key is None:
+            self._nulls.discard(rowid)
+            return
+        left = bisect.bisect_left(self._keys, key)
+        right = bisect.bisect_right(self._keys, key)
+        for position in range(left, right):
+            if self._rowids[position] == rowid:
+                del self._keys[position]
+                del self._rowids[position]
+                return
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[int]:
+        """Yield rowids whose key falls in [low, high] in key order."""
+        if low is None:
+            start = 0
+        elif low_inclusive:
+            start = bisect.bisect_left(self._keys, low)
+        else:
+            start = bisect.bisect_right(self._keys, low)
+        if high is None:
+            stop = len(self._keys)
+        elif high_inclusive:
+            stop = bisect.bisect_right(self._keys, high)
+        else:
+            stop = bisect.bisect_left(self._keys, high)
+        for position in range(start, stop):
+            yield self._rowids[position]
+
+    def scan(self, descending: bool = False) -> Iterator[int]:
+        """Yield all non-null rowids in key order."""
+        return iter(self._rowids[::-1] if descending else self._rowids)
+
+    def nulls(self) -> set[int]:
+        return set(self._nulls)
+
+    def __len__(self) -> int:
+        return len(self._rowids) + len(self._nulls)

@@ -1,0 +1,249 @@
+"""Predicate AST used in WHERE clauses.
+
+Predicates evaluate against a row dict and expose enough structure for the
+planner to recognise *sargable* shapes (equality and range constraints on
+indexed columns).  SQL three-valued logic is approximated: any comparison
+with NULL is false, IS NULL / IS NOT NULL are explicit nodes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+
+class Predicate:
+    """Base class; subclasses implement :meth:`matches`."""
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or([self, other])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def columns(self) -> set[str]:
+        """All column names the predicate mentions."""
+        raise NotImplementedError
+
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``column OP literal`` comparison."""
+
+    column: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        actual = row.get(self.column)
+        if actual is None or self.value is None:
+            return False
+        try:
+            return _OPS[self.op](actual, self.value)
+        except TypeError:
+            return False
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``column BETWEEN low AND high`` (inclusive on both ends)."""
+
+    column: str
+    low: Any
+    high: Any
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        actual = row.get(self.column)
+        if actual is None:
+            return False
+        try:
+            return self.low <= actual <= self.high
+        except TypeError:
+            return False
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+class In(Predicate):
+    """``column IN (v1, v2, ...)``."""
+
+    def __init__(self, column: str, values: Iterable[Any]):
+        self.column = column
+        self.values = frozenset(values)
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        actual = row.get(self.column)
+        return actual is not None and actual in self.values
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"In({self.column!r}, {sorted(map(repr, self.values))})"
+
+
+class Like(Predicate):
+    """SQL LIKE with ``%`` (any run) and ``_`` (single char) wildcards."""
+
+    def __init__(self, column: str, pattern: str):
+        self.column = column
+        self.pattern = pattern
+        parts = []
+        for char in pattern:
+            if char == "%":
+                parts.append(".*")
+            elif char == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(char))
+        self._regex = re.compile(f"^{''.join(parts)}$", re.DOTALL)
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        actual = row.get(self.column)
+        return isinstance(actual, str) and bool(self._regex.match(actual))
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class IsNull(Predicate):
+    column: str
+    negated: bool = False
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        is_null = row.get(self.column) is None
+        return not is_null if self.negated else is_null
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+class And(Predicate):
+    def __init__(self, operands: Sequence[Predicate]):
+        self.operands = list(operands)
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return all(operand.matches(row) for operand in self.operands)
+
+    def columns(self) -> set[str]:
+        result: set[str] = set()
+        for operand in self.operands:
+            result |= operand.columns()
+        return result
+
+
+class Or(Predicate):
+    def __init__(self, operands: Sequence[Predicate]):
+        self.operands = list(operands)
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return any(operand.matches(row) for operand in self.operands)
+
+    def columns(self) -> set[str]:
+        result: set[str] = set()
+        for operand in self.operands:
+            result |= operand.columns()
+        return result
+
+
+class Not(Predicate):
+    def __init__(self, operand: Predicate):
+        self.operand = operand
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return not self.operand.matches(row)
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+
+class TruePredicate(Predicate):
+    """Matches every row; the implicit WHERE of an unfiltered scan."""
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        return True
+
+    def columns(self) -> set[str]:
+        return set()
+
+
+ALWAYS = TruePredicate()
+
+
+def conjuncts(predicate: Optional[Predicate]) -> list[Predicate]:
+    """Flatten nested ANDs into a conjunct list (for the planner)."""
+    if predicate is None or isinstance(predicate, TruePredicate):
+        return []
+    if isinstance(predicate, And):
+        flattened: list[Predicate] = []
+        for operand in predicate.operands:
+            flattened.extend(conjuncts(operand))
+        return flattened
+    return [predicate]
+
+
+def equality_on(predicate: Optional[Predicate], column: str) -> Optional[Any]:
+    """If the conjuncts pin ``column`` to a single value, return it."""
+    for conjunct in conjuncts(predicate):
+        if isinstance(conjunct, Comparison) and conjunct.op == "=" and conjunct.column == column:
+            return conjunct.value
+    return None
+
+
+def range_on(predicate: Optional[Predicate], column: str) -> Optional[tuple]:
+    """Extract (low, high, low_incl, high_incl) bounds for ``column``.
+
+    Returns None when no conjunct constrains the column's range.
+    """
+    low: Any = None
+    high: Any = None
+    low_inclusive = True
+    high_inclusive = True
+    found = False
+    for conjunct in conjuncts(predicate):
+        if isinstance(conjunct, Between) and conjunct.column == column:
+            found = True
+            if low is None or conjunct.low > low:
+                low, low_inclusive = conjunct.low, True
+            if high is None or conjunct.high < high:
+                high, high_inclusive = conjunct.high, True
+        elif isinstance(conjunct, Comparison) and conjunct.column == column:
+            if conjunct.op in (">", ">="):
+                found = True
+                if low is None or conjunct.value >= low:
+                    low, low_inclusive = conjunct.value, conjunct.op == ">="
+            elif conjunct.op in ("<", "<="):
+                found = True
+                if high is None or conjunct.value <= high:
+                    high, high_inclusive = conjunct.value, conjunct.op == "<="
+            elif conjunct.op == "=":
+                return (conjunct.value, conjunct.value, True, True)
+    if not found:
+        return None
+    return (low, high, low_inclusive, high_inclusive)

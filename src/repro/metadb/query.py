@@ -1,0 +1,287 @@
+"""Query objects, planning and execution.
+
+The DM component of HEDC deliberately exposes *no* SQL in its API: callers
+build collection objects which the database layer "parses, analyzes,
+verifies and transforms into regular SQL queries" (paper §5.4).  These
+classes are those collection objects.  The planner picks an access path
+(primary-key probe, hash probe, ordered range scan, or full scan) from the
+table's indexes and the WHERE shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from .errors import QueryError, SchemaError
+from .predicate import (
+    ALWAYS,
+    Predicate,
+    conjuncts,
+    equality_on,
+    range_on,
+)
+from .storage import Table
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate output column, e.g. ``Aggregate("count", "*", "n")``."""
+
+    func: str
+    column: str
+    alias: str
+
+    _FUNCS = ("count", "sum", "avg", "min", "max")
+
+    def __post_init__(self) -> None:
+        if self.func not in self._FUNCS:
+            raise QueryError(f"unknown aggregate function {self.func!r}")
+
+
+@dataclass(frozen=True)
+class Join:
+    """Inner equi-join with another table on left.column = right.column."""
+
+    table: str
+    left_column: str
+    right_column: str
+
+
+@dataclass
+class Select:
+    """A declarative SELECT over one table (optionally one join)."""
+
+    table: str
+    columns: Optional[Sequence[str]] = None
+    where: Optional[Predicate] = None
+    order_by: Sequence[tuple[str, str]] = ()
+    limit: Optional[int] = None
+    offset: int = 0
+    group_by: Sequence[str] = ()
+    aggregates: Sequence[Aggregate] = ()
+    join: Optional[Join] = None
+
+    def __post_init__(self) -> None:
+        for _column, direction in self.order_by:
+            if direction not in ("asc", "desc"):
+                raise QueryError(f"order direction must be asc/desc, got {direction!r}")
+        if self.limit is not None and self.limit < 0:
+            raise QueryError("limit must be non-negative")
+        if self.offset < 0:
+            raise QueryError("offset must be non-negative")
+        if self.group_by and not self.aggregates:
+            raise QueryError("GROUP BY requires at least one aggregate")
+
+
+@dataclass
+class Insert:
+    table: str
+    values: dict[str, Any]
+
+
+@dataclass
+class Update:
+    table: str
+    changes: dict[str, Any]
+    where: Optional[Predicate] = None
+
+
+@dataclass
+class Delete:
+    table: str
+    where: Optional[Predicate] = None
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Chosen access path; also the EXPLAIN output."""
+
+    access: str            # "pk_probe" | "hash_probe" | "range_scan" | "full_scan"
+    index_column: Optional[str] = None
+    ordered: bool = False  # True when the scan already satisfies ORDER BY
+
+    def describe(self) -> str:
+        if self.access == "full_scan":
+            return "FULL SCAN"
+        return f"{self.access.upper()} on {self.index_column}"
+
+
+def plan_select(table: Table, select: Select) -> Plan:
+    """Pick the cheapest access path for ``select`` on ``table``."""
+    where = select.where
+    # 1. primary-key / unique hash probe on an equality conjunct.
+    for conjunct_columns in _equality_columns(where):
+        index = table.hash_index_on(conjunct_columns)
+        if index is not None:
+            access = "pk_probe" if index.name == "pk" else "hash_probe"
+            return Plan(access, conjunct_columns)
+    # 2. ordered range scan on a range-constrained indexed column.
+    for column in _range_columns(where):
+        if table.ordered_index_on(column) is not None:
+            ordered = bool(select.order_by) and select.order_by[0][0] == column
+            return Plan("range_scan", column, ordered=ordered)
+    # 3. ordered scan that satisfies ORDER BY even without a range.
+    if select.order_by:
+        first_column = select.order_by[0][0]
+        if table.ordered_index_on(first_column) is not None and len(select.order_by) == 1:
+            return Plan("range_scan", first_column, ordered=True)
+    return Plan("full_scan")
+
+
+def _equality_columns(where: Optional[Predicate]) -> Iterator[str]:
+    seen = set()
+    for conjunct in conjuncts(where):
+        for column in conjunct.columns():
+            if column not in seen and equality_on(where, column) is not None:
+                seen.add(column)
+                yield column
+
+
+def _range_columns(where: Optional[Predicate]) -> Iterator[str]:
+    seen = set()
+    for conjunct in conjuncts(where):
+        for column in conjunct.columns():
+            if column not in seen and range_on(where, column) is not None:
+                seen.add(column)
+                yield column
+
+
+def _candidate_rows(table: Table, select: Select, plan: Plan) -> Iterator[dict[str, Any]]:
+    where = select.where
+    if plan.access in ("pk_probe", "hash_probe"):
+        index = table.hash_index_on(plan.index_column)
+        key = equality_on(where, plan.index_column)
+        for rowid in index.probe(key):
+            yield table.row(rowid)
+        return
+    if plan.access == "range_scan":
+        ordered_index = table.ordered_index_on(plan.index_column)
+        bounds = range_on(where, plan.index_column)
+        descending = plan.ordered and select.order_by and select.order_by[0][1] == "desc"
+        if bounds is None:
+            rowids: Iterable[int] = ordered_index.scan(descending=bool(descending))
+        else:
+            low, high, low_inclusive, high_inclusive = bounds
+            rowids = list(
+                ordered_index.range(
+                    low, high, low_inclusive=low_inclusive, high_inclusive=high_inclusive
+                )
+            )
+            if descending:
+                rowids = reversed(list(rowids))
+        for rowid in rowids:
+            yield table.row(rowid)
+        return
+    yield from table.rows()
+
+
+def _project(row: dict[str, Any], columns: Optional[Sequence[str]]) -> dict[str, Any]:
+    if not columns:
+        return dict(row)
+    try:
+        return {column: row[column] for column in columns}
+    except KeyError as exc:
+        raise QueryError(f"unknown output column {exc.args[0]!r}") from exc
+
+
+def _apply_order(rows: list[dict[str, Any]], order_by: Sequence[tuple[str, str]]):
+    # Stable multi-key sort: apply keys right-to-left.
+    for column, direction in reversed(list(order_by)):
+        rows.sort(
+            key=lambda row: (row.get(column) is None, row.get(column) if row.get(column) is not None else 0),
+            reverse=(direction == "desc"),
+        )
+    return rows
+
+
+def _aggregate(rows: list[dict[str, Any]], aggregates: Sequence[Aggregate]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for aggregate in aggregates:
+        if aggregate.func == "count":
+            if aggregate.column == "*":
+                out[aggregate.alias] = len(rows)
+            else:
+                out[aggregate.alias] = sum(
+                    1 for row in rows if row.get(aggregate.column) is not None
+                )
+            continue
+        values = [row[aggregate.column] for row in rows if row.get(aggregate.column) is not None]
+        if not values:
+            out[aggregate.alias] = None
+        elif aggregate.func == "sum":
+            out[aggregate.alias] = sum(values)
+        elif aggregate.func == "avg":
+            out[aggregate.alias] = sum(values) / len(values)
+        elif aggregate.func == "min":
+            out[aggregate.alias] = min(values)
+        elif aggregate.func == "max":
+            out[aggregate.alias] = max(values)
+    return out
+
+
+def execute_select(tables: dict[str, Table], select: Select) -> list[dict[str, Any]]:
+    """Run ``select`` against ``tables`` and return result rows."""
+    if select.table not in tables:
+        raise SchemaError(f"unknown table {select.table!r}")
+    table = tables[select.table]
+    plan = plan_select(table, select)
+    where = select.where or ALWAYS
+    matched = [row for row in _candidate_rows(table, select, plan) if where.matches(row)]
+    if select.join is not None:
+        matched = _execute_join(tables, select, matched)
+    if select.aggregates:
+        return _execute_aggregates(matched, select)
+    if select.order_by and not (plan.ordered and len(select.order_by) == 1 and select.join is None):
+        _apply_order(matched, select.order_by)
+    if select.offset:
+        matched = matched[select.offset:]
+    if select.limit is not None:
+        matched = matched[: select.limit]
+    return [_project(row, select.columns) for row in matched]
+
+
+def _execute_join(
+    tables: dict[str, Table], select: Select, left_rows: list[dict[str, Any]]
+) -> list[dict[str, Any]]:
+    join = select.join
+    if join.table not in tables:
+        raise SchemaError(f"unknown join table {join.table!r}")
+    right = tables[join.table]
+    # Hash join: build on the smaller right side, probe with left rows.
+    build: dict[Any, list[dict[str, Any]]] = {}
+    right_index = right.hash_index_on(join.right_column)
+    if right_index is None:
+        for row in right.rows():
+            key = row.get(join.right_column)
+            if key is not None:
+                build.setdefault(key, []).append(row)
+    joined: list[dict[str, Any]] = []
+    for left_row in left_rows:
+        key = left_row.get(join.left_column)
+        if key is None:
+            continue
+        if right_index is not None:
+            matches = [right.row(rowid) for rowid in right_index.probe(key)]
+        else:
+            matches = build.get(key, ())
+        for right_row in matches:
+            merged = dict(right_row)
+            merged.update(left_row)  # left wins on collisions
+            joined.append(merged)
+    return joined
+
+
+def _execute_aggregates(rows: list[dict[str, Any]], select: Select) -> list[dict[str, Any]]:
+    if not select.group_by:
+        return [_aggregate(rows, select.aggregates)]
+    groups: dict[tuple, list[dict[str, Any]]] = {}
+    for row in rows:
+        key = tuple(row.get(column) for column in select.group_by)
+        groups.setdefault(key, []).append(row)
+    result = []
+    for key, group_rows in sorted(groups.items(), key=lambda item: tuple(map(repr, item[0]))):
+        out = dict(zip(select.group_by, key))
+        out.update(_aggregate(group_rows, select.aggregates))
+        result.append(out)
+    return result

@@ -1,0 +1,219 @@
+"""Primary/replica database replication.
+
+The paper's scaling discussion (§7.3) ends with: "Further scalability
+can be achieved by replicating the database using standard techniques."
+This module provides those standard techniques for the embedded engine:
+
+* :func:`clone_database` — snapshot an existing database into a fresh
+  replica (schema + rows, preserving rowids);
+* :class:`ReplicatedDatabase` — a drop-in ``execute()`` target that
+  applies writes synchronously to the primary and every replica (eager,
+  single-writer replication) and serves reads round-robin across all
+  copies.
+
+Because it quacks like a :class:`Database` for ``execute``/``begin``/
+``commit``/``rollback``, the DM's I/O layer can sit on top of it
+unchanged — replication slots in "without system downtime" exactly as
+the paper's change-absorption story requires.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional, Union
+
+from .database import Database, DatabaseStats
+from .errors import SchemaError, TransactionError
+from .query import Delete, Insert, Select, Update
+from .schema import TableSchema
+from .sql import Statement, parse
+from .transactions import Transaction
+
+
+def clone_database(source: Database, name: str = "replica") -> Database:
+    """Snapshot ``source`` into a new in-memory database.
+
+    Rowids are preserved so later replicated mutations stay aligned.
+    """
+    replica = Database(name=name)
+    # Create tables in foreign-key dependency order (fixpoint pass).
+    pending = list(source.table_names())
+    while pending:
+        progressed = False
+        for table_name in list(pending):
+            schema = source.table(table_name).schema
+            targets = {fk.ref_table for fk in schema.foreign_keys} - {table_name}
+            if all(replica.has_table(target) for target in targets):
+                replica.create_table(TableSchema.from_dict(schema.to_dict()))
+                pending.remove(table_name)
+                progressed = True
+        if not progressed:
+            raise SchemaError(f"circular foreign keys among {pending}")
+    for table_name in source.table_names():
+        table = source.table(table_name)
+        replica_table = replica.table(table_name)
+        for rowid in table.rowids():
+            replica_table.restore(rowid, dict(table.row(rowid)))
+    return replica
+
+
+class _ReplicatedTransaction:
+    """Groups one logical transaction's per-copy transactions."""
+
+    def __init__(self, parts: list[tuple[Database, Transaction]]):
+        self.parts = parts
+        self.state = parts[0][1].state
+
+    @property
+    def primary_tx(self) -> Transaction:
+        return self.parts[0][1]
+
+
+class ReplicatedDatabase:
+    """One primary plus N replicas behind a single execute() interface.
+
+    Writes go to every copy inside the same logical transaction (eager
+    replication — all copies stay identical).  Reads rotate across all
+    copies, multiplying read capacity.
+    """
+
+    def __init__(self, primary: Database):
+        self.primary = primary
+        self.replicas: list[Database] = []
+        self._read_cursor = 0
+        self._lock = threading.Lock()
+        self.stats = DatabaseStats()
+        self.reads_by_copy: dict[str, int] = {primary.name: 0}
+
+    # -- topology ------------------------------------------------------------
+
+    def add_replica(self, replica: Optional[Database] = None) -> Database:
+        """Attach a replica; by default a fresh clone of the primary."""
+        if replica is None:
+            replica = clone_database(
+                self.primary, name=f"{self.primary.name}-r{len(self.replicas) + 1}"
+            )
+        with self._lock:
+            self.replicas.append(replica)
+            self.reads_by_copy[replica.name] = 0
+        return replica
+
+    def remove_replica(self, replica: Database) -> None:
+        with self._lock:
+            self.replicas.remove(replica)
+
+    @property
+    def n_copies(self) -> int:
+        return 1 + len(self.replicas)
+
+    def _copies(self) -> list[Database]:
+        return [self.primary, *self.replicas]
+
+    # -- Database-compatible interface ------------------------------------------
+
+    def has_table(self, name: str) -> bool:
+        return self.primary.has_table(name)
+
+    def table_names(self) -> list[str]:
+        return self.primary.table_names()
+
+    def table(self, name: str):
+        return self.primary.table(name)
+
+    def create_table(self, schema: TableSchema) -> None:
+        for copy in self._copies():
+            copy.create_table(schema)
+
+    def explain(self, select) -> str:
+        return self.primary.explain(select)
+
+    def allocate_id(self, table: str, column: str) -> int:
+        return self.primary.allocate_id(table, column)
+
+    def begin(self) -> _ReplicatedTransaction:
+        return _ReplicatedTransaction([(copy, copy.begin()) for copy in self._copies()])
+
+    def commit(self, tx: _ReplicatedTransaction) -> None:
+        for copy, part in tx.parts:
+            copy.commit(part)
+        self.stats.transactions_committed += 1
+
+    def rollback(self, tx: _ReplicatedTransaction) -> None:
+        for copy, part in tx.parts:
+            copy.rollback(part)
+        self.stats.transactions_rolled_back += 1
+
+    def execute(
+        self,
+        statement: Union[Statement, str],
+        tx: Optional[_ReplicatedTransaction] = None,
+    ) -> Any:
+        if isinstance(statement, str):
+            statement = parse(statement)
+        if isinstance(statement, Select):
+            copy = self._next_reader()
+            self.stats.selects += 1
+            rows = copy.execute(statement)
+            self.stats.rows_read += len(rows)
+            return rows
+        if isinstance(tx, Transaction):
+            raise TransactionError(
+                "a replicated database needs transactions from its own begin()"
+            )
+        if isinstance(statement, Insert):
+            # Materialise callable column defaults (e.g. created_at
+            # timestamps) ONCE, so every copy stores identical rows.
+            full_row = self.primary.table(statement.table).schema.normalize_row(
+                statement.values
+            )
+            statement = Insert(statement.table, full_row)
+        autocommit = tx is None
+        local_tx = tx or self.begin()
+        result: Any = None
+        try:
+            for copy, part in local_tx.parts:
+                result = copy.execute(statement, tx=part)
+        except Exception:
+            if autocommit:
+                self.rollback(local_tx)
+            raise
+        if autocommit:
+            self.commit(local_tx)
+        if isinstance(statement, Insert):
+            self.stats.inserts += 1
+            self.stats.rows_written += 1
+        elif isinstance(statement, Update):
+            self.stats.updates += 1
+            self.stats.rows_written += int(result or 0)
+        elif isinstance(statement, Delete):
+            self.stats.deletes += 1
+            self.stats.rows_written += int(result or 0)
+        return result
+
+    def _next_reader(self) -> Database:
+        with self._lock:
+            copies = self._copies()
+            copy = copies[self._read_cursor % len(copies)]
+            self._read_cursor += 1
+            self.reads_by_copy[copy.name] += 1
+            return copy
+
+    # -- verification --------------------------------------------------------------
+
+    def verify_consistency(self) -> bool:
+        """True when every replica matches the primary row-for-row."""
+        for replica in self.replicas:
+            if replica.table_names() != self.primary.table_names():
+                return False
+            for table_name in self.primary.table_names():
+                primary_table = self.primary.table(table_name)
+                replica_table = replica.table(table_name)
+                if len(primary_table) != len(replica_table):
+                    return False
+                for rowid in primary_table.rowids():
+                    try:
+                        if replica_table.row(rowid) != primary_table.row(rowid):
+                            return False
+                    except KeyError:
+                        return False
+        return True

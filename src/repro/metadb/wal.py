@@ -1,0 +1,149 @@
+"""Write-ahead journal and snapshot persistence.
+
+Durability mirrors the paper's setup ("critical data, such as the database
+redo logs ... is stored on the A1000 with tape backup"): committed
+transactions are appended to a JSON-lines journal; a checkpoint writes a
+full snapshot and truncates the journal; opening a database restores the
+snapshot and replays the journal.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return {"__blob__": base64.b64encode(value).decode("ascii")}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "__blob__" in value:
+        return base64.b64decode(value["__blob__"])
+    return value
+
+
+def _encode_row(row: dict[str, Any]) -> dict[str, Any]:
+    return {key: _encode_value(value) for key, value in row.items()}
+
+
+def _decode_row(row: dict[str, Any]) -> dict[str, Any]:
+    return {key: _decode_value(value) for key, value in row.items()}
+
+
+class Journal:
+    """Append-only journal of committed transactions."""
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.journal_path = self.directory / "journal.jsonl"
+        self.snapshot_path = self.directory / "snapshot.json"
+        self._handle = None
+
+    # -- writing -------------------------------------------------------------
+
+    def _open_handle(self):
+        if self._handle is None:
+            self._handle = open(self.journal_path, "a", encoding="utf-8")
+        return self._handle
+
+    def append_transaction(self, tx_id: int, records: list[dict[str, Any]]) -> None:
+        """Durably record one committed transaction."""
+        handle = self._open_handle()
+        encoded = []
+        for record in records:
+            record = dict(record)
+            if "row" in record:
+                record["row"] = _encode_row(record["row"])
+            if "changes" in record:
+                record["changes"] = _encode_row(record["changes"])
+            encoded.append(record)
+        handle.write(json.dumps({"tx": tx_id, "records": encoded}) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def append_ddl(self, record: dict[str, Any]) -> None:
+        """Record a schema change (CREATE/DROP TABLE)."""
+        handle = self._open_handle()
+        handle.write(json.dumps({"ddl": record}) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def checkpoint(self, snapshot: dict[str, Any]) -> None:
+        """Write a snapshot atomically, then truncate the journal."""
+        encoded_tables = {}
+        for table_name, table_data in snapshot["tables"].items():
+            encoded_tables[table_name] = {
+                "schema": table_data["schema"],
+                "rows": {
+                    str(rowid): _encode_row(row)
+                    for rowid, row in table_data["rows"].items()
+                },
+            }
+        payload = {"tables": encoded_tables}
+        tmp_path = self.snapshot_path.with_suffix(".tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.snapshot_path)
+        self.close()
+        with open(self.journal_path, "w", encoding="utf-8") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # -- recovery ------------------------------------------------------------
+
+    def load_snapshot(self) -> Optional[dict[str, Any]]:
+        if not self.snapshot_path.exists():
+            return None
+        with open(self.snapshot_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        tables = {}
+        for table_name, table_data in payload["tables"].items():
+            tables[table_name] = {
+                "schema": table_data["schema"],
+                "rows": {
+                    int(rowid): _decode_row(row)
+                    for rowid, row in table_data["rows"].items()
+                },
+            }
+        return {"tables": tables}
+
+    def replay(self) -> Iterator[dict[str, Any]]:
+        """Yield journal entries in commit order, skipping torn tails."""
+        if not self.journal_path.exists():
+            return
+        with open(self.journal_path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn final write after a crash: ignore the tail.
+                    break
+                if "records" in entry:
+                    for record in entry["records"]:
+                        record = dict(record)
+                        if "row" in record:
+                            record["row"] = _decode_row(record["row"])
+                        if "changes" in record:
+                            record["changes"] = _decode_row(record["changes"])
+                        yield record
+                elif "ddl" in entry:
+                    yield {"op": "__ddl__", **entry["ddl"]}
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

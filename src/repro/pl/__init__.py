@@ -1,0 +1,48 @@
+"""The Processing Logic (PL) component (paper §5.1): frontend, IDL server
+manager, global directory, and the four-phase request/strategy framework."""
+
+from .animation import AnimationStrategy
+from .directory import GlobalDirectory, ServiceRecord
+from .routines import Routine, RoutineLibrary, RoutineRejected, UserRoutineStrategy
+from .frontend import Frontend, UnknownRequestType
+from .manager import IdlServerManager, NoServerAvailable
+from .requests import (
+    DEFAULT_STRATEGIES,
+    AnalysisRequest,
+    AnalysisStrategy,
+    ExecutionPlan,
+    HistogramStrategy,
+    ImagingStrategy,
+    LightcurveStrategy,
+    Phase,
+    RequestCancelled,
+    RequestFailed,
+    SpectrogramStrategy,
+    StrategyContext,
+)
+
+__all__ = [
+    "AnalysisRequest",
+    "AnimationStrategy",
+    "AnalysisStrategy",
+    "DEFAULT_STRATEGIES",
+    "ExecutionPlan",
+    "Frontend",
+    "GlobalDirectory",
+    "HistogramStrategy",
+    "IdlServerManager",
+    "ImagingStrategy",
+    "LightcurveStrategy",
+    "NoServerAvailable",
+    "Phase",
+    "RequestCancelled",
+    "RequestFailed",
+    "Routine",
+    "RoutineLibrary",
+    "RoutineRejected",
+    "ServiceRecord",
+    "UserRoutineStrategy",
+    "SpectrogramStrategy",
+    "StrategyContext",
+    "UnknownRequestType",
+]

@@ -1,0 +1,73 @@
+"""The PL's global directory service (paper §5.1).
+
+"Provides a directory of all services related to the processing logic.
+There is one instance of this service."  Server managers register here
+with heartbeats; interactions are self-recovering — stale registrations
+are purged, and lookups only return live services, so "IDL server
+managers can be dynamically added and removed as needed without halting
+the system".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class ServiceRecord:
+    service_id: str
+    kind: str                 # "idl_manager" | "frontend" | ...
+    location: str             # node name
+    capacity: int = 1
+    registered_at: float = field(default_factory=time.monotonic)
+    heartbeat_at: float = field(default_factory=time.monotonic)
+
+    def alive(self, timeout_s: float) -> bool:
+        return time.monotonic() - self.heartbeat_at <= timeout_s
+
+
+class GlobalDirectory:
+    """Registry of PL services with heartbeat-based liveness."""
+
+    def __init__(self, heartbeat_timeout_s: float = 30.0):
+        self._records: dict[str, ServiceRecord] = {}
+        self._lock = threading.Lock()
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+
+    def register(self, service_id: str, kind: str, location: str, capacity: int = 1) -> None:
+        with self._lock:
+            self._records[service_id] = ServiceRecord(service_id, kind, location, capacity)
+
+    def deregister(self, service_id: str) -> None:
+        with self._lock:
+            self._records.pop(service_id, None)
+
+    def heartbeat(self, service_id: str) -> None:
+        with self._lock:
+            record = self._records.get(service_id)
+            if record is not None:
+                record.heartbeat_at = time.monotonic()
+
+    def lookup(self, kind: str) -> list[ServiceRecord]:
+        """All live services of a kind; purges dead registrations."""
+        with self._lock:
+            dead = [
+                service_id
+                for service_id, record in self._records.items()
+                if not record.alive(self.heartbeat_timeout_s)
+            ]
+            for service_id in dead:
+                del self._records[service_id]
+            return [record for record in self._records.values() if record.kind == kind]
+
+    def get(self, service_id: str) -> Optional[ServiceRecord]:
+        with self._lock:
+            return self._records.get(service_id)
+
+    @property
+    def size(self) -> int:
+        with self._lock:
+            return len(self._records)

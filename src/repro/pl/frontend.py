@@ -1,0 +1,179 @@
+"""The PL frontend (paper §5.1).
+
+"Primary controller of sessions and requests, dispatch and scheduling of
+requests to processing subsystems.  There is one instance of this
+service."  The front end interprets abstract requests: it looks up the
+request type's strategy, runs the four phases in order, honours priority
+scheduling, bounds the number of in-flight requests (the paper's
+processing tests keep "no more than 20 requests in the system at any
+given time"), and supports cancellation with per-phase cleanup.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Optional
+
+from .animation import AnimationStrategy
+from .directory import GlobalDirectory
+from .manager import IdlServerManager
+from .requests import (
+    AnalysisRequest,
+    AnalysisStrategy,
+    DEFAULT_STRATEGIES,
+    Phase,
+    RequestCancelled,
+    RequestFailed,
+    StrategyContext,
+)
+
+
+class UnknownRequestType(Exception):
+    """No strategy registered for the request's algorithm."""
+
+
+class Frontend:
+    """Interpreter and scheduler of abstract analysis requests."""
+
+    def __init__(
+        self,
+        dm,
+        idl_manager: IdlServerManager,
+        directory: Optional[GlobalDirectory] = None,
+        node_name: str = "server",
+        max_in_flight: int = 20,
+        n_workers: int = 0,
+    ):
+        self.dm = dm
+        self.context = StrategyContext(dm, idl_manager, node_name=node_name)
+        self.directory = directory or GlobalDirectory()
+        self.directory.register(f"frontend:{node_name}", "frontend", node_name)
+        self.strategies: dict[str, AnalysisStrategy] = dict(DEFAULT_STRATEGIES)
+        self.strategies[AnimationStrategy.algorithm] = AnimationStrategy()
+        self.max_in_flight = max_in_flight
+        self._queue: list[tuple[int, int, AnalysisRequest]] = []
+        self._ticket = itertools.count()
+        self._queue_lock = threading.Lock()
+        self._queue_ready = threading.Condition(self._queue_lock)
+        self._in_flight = 0
+        self.completed: list[AnalysisRequest] = []
+        self._workers: list[threading.Thread] = []
+        self._shutdown = False
+        for worker_index in range(n_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"pl-worker-{worker_index}", daemon=True
+            )
+            thread.start()
+            self._workers.append(thread)
+
+    # -- strategy registry -----------------------------------------------------
+
+    def register_strategy(self, strategy: AnalysisStrategy) -> None:
+        """Incorporate a new request type (new processing environment,
+        §5.1: "defining the strategy that extends the existing framework")."""
+        self.strategies[strategy.algorithm] = strategy
+
+    def _strategy_for(self, request: AnalysisRequest) -> AnalysisStrategy:
+        strategy = self.strategies.get(request.algorithm)
+        if strategy is None:
+            raise UnknownRequestType(request.algorithm)
+        return strategy
+
+    # -- synchronous path ---------------------------------------------------------
+
+    def estimate(self, request: AnalysisRequest) -> AnalysisRequest:
+        """Run only the estimation phase; returns immediately."""
+        strategy = self._strategy_for(request)
+        request.plan = strategy.estimate(request, self.context)
+        request.phase = Phase.ESTIMATED
+        return request
+
+    def run(self, request: AnalysisRequest, estimate: bool = False) -> AnalysisRequest:
+        """Run the phases in order, synchronously."""
+        strategy = self._strategy_for(request)
+        try:
+            if estimate:
+                request.check_cancelled()
+                request.plan = strategy.estimate(request, self.context)
+                request.phase = Phase.ESTIMATED
+                if not request.plan.feasible:
+                    raise RequestFailed(f"infeasible: {request.plan.reason}")
+            request.check_cancelled()
+            request.raw_result = strategy.execute(request, self.context)
+            request.phase = Phase.EXECUTED
+            request.check_cancelled()
+            request.product = strategy.deliver(request, self.context)
+            request.phase = Phase.DELIVERED
+            request.check_cancelled()
+            request.ana_id = strategy.commit(request, self.context)
+            request.phase = Phase.COMMITTED
+        except RequestCancelled:
+            strategy.cleanup(request, self.context)
+            request.phase = Phase.CANCELLED
+        except Exception as exc:
+            strategy.cleanup(request, self.context)
+            request.phase = Phase.FAILED
+            request.error = str(exc)
+        request.completed_at = time.monotonic()
+        self.completed.append(request)
+        return request
+
+    # -- queued/asynchronous path ----------------------------------------------------
+
+    def submit(self, request: AnalysisRequest) -> AnalysisRequest:
+        """Enqueue under priority scheduling (needs worker threads)."""
+        if not self._workers:
+            raise RuntimeError("frontend has no workers; use run() or pass n_workers")
+        with self._queue_ready:
+            heapq.heappush(self._queue, (request.priority, next(self._ticket), request))
+            self._queue_ready.notify()
+        return request
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._queue_ready:
+                while not self._queue or self._in_flight >= self.max_in_flight:
+                    if self._shutdown:
+                        return
+                    self._queue_ready.wait(timeout=0.5)
+                _priority, _ticket, request = heapq.heappop(self._queue)
+                self._in_flight += 1
+            try:
+                self.run(request)
+            finally:
+                with self._queue_ready:
+                    self._in_flight -= 1
+                    self._queue_ready.notify_all()
+
+    def drain(self, timeout_s: float = 60.0) -> None:
+        """Wait until the queue is empty and nothing is in flight."""
+        deadline = time.monotonic() + timeout_s
+        with self._queue_ready:
+            while self._queue or self._in_flight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError("frontend drain timed out")
+                self._queue_ready.wait(timeout=min(0.5, remaining))
+
+    def close(self) -> None:
+        with self._queue_ready:
+            self._shutdown = True
+            self._queue_ready.notify_all()
+
+    # -- statistics ---------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        committed = [r for r in self.completed if r.phase is Phase.COMMITTED]
+        sojourns = [r.sojourn_s for r in committed if r.sojourn_s is not None]
+        return {
+            "completed": len(self.completed),
+            "committed": len(committed),
+            "failed": sum(1 for r in self.completed if r.phase is Phase.FAILED),
+            "cancelled": sum(1 for r in self.completed if r.phase is Phase.CANCELLED),
+            "queries": self.context.queries,
+            "edits": self.context.edits,
+            "avg_sojourn_s": sum(sojourns) / len(sojourns) if sojourns else 0.0,
+        }

@@ -1,0 +1,190 @@
+"""The IDL server manager (paper §5.1).
+
+"Multiple native IDL interpreters are managed (start, stop, restart).
+It provides the possibility to invoke IDL routines synchronously and
+asynchronously and implements error handling (timeout, resource drain).
+Every processing client executes one instance of this service."
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Callable, Optional
+
+from ..idl import IdlServer, InvocationResult, ServerState
+from ..rhessi import PhotonList
+from .directory import GlobalDirectory
+
+
+class NoServerAvailable(Exception):
+    """All managed IDL servers are busy or crashed."""
+
+
+class IdlServerManager:
+    """Manages a pool of IDL servers on one processing node."""
+
+    def __init__(
+        self,
+        node_name: str = "server",
+        n_servers: int = 1,
+        directory: Optional[GlobalDirectory] = None,
+        default_timeout_s: Optional[float] = None,
+        fault_hook: Optional[Callable[[], None]] = None,
+        routine_library=None,
+    ):
+        if n_servers < 1:
+            raise ValueError("need at least one IDL server")
+        self.node_name = node_name
+        self.routine_library = routine_library
+        on_start = None
+        if routine_library is not None:
+            on_start = routine_library.load_into
+        self._on_start = on_start
+        self._servers = [
+            IdlServer(
+                name=f"{node_name}/idl{index}",
+                default_timeout_s=default_timeout_s,
+                fault_hook=fault_hook,
+                on_start=on_start,
+            )
+            for index in range(n_servers)
+        ]
+        self._lock = threading.Lock()
+        self.directory = directory
+        if directory is not None:
+            directory.register(
+                f"idl_manager:{node_name}", "idl_manager", node_name, capacity=n_servers
+            )
+        self.recoveries = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start_all(self) -> None:
+        for server in self._servers:
+            server.start()
+        self._heartbeat()
+
+    def stop_all(self) -> None:
+        for server in self._servers:
+            server.stop()
+        if self.directory is not None:
+            self.directory.deregister(f"idl_manager:{self.node_name}")
+
+    def add_server(self) -> IdlServer:
+        """Dynamically grow capacity without halting the system (§5.1)."""
+        with self._lock:
+            server = IdlServer(
+                name=f"{self.node_name}/idl{len(self._servers)}",
+                on_start=self._on_start,
+            )
+            server.start()
+            self._servers.append(server)
+            self._update_directory_capacity()
+            return server
+
+    def remove_server(self) -> None:
+        with self._lock:
+            if len(self._servers) <= 1:
+                raise ValueError("cannot remove the last server")
+            server = self._servers.pop()
+            server.stop()
+            self._update_directory_capacity()
+
+    def _update_directory_capacity(self) -> None:
+        if self.directory is not None:
+            self.directory.register(
+                f"idl_manager:{self.node_name}", "idl_manager", self.node_name,
+                capacity=len(self._servers),
+            )
+
+    def broadcast_source(self, source: str) -> int:
+        """Run IDL source on every READY server — hot-loading a newly
+        published routine without halting the system (§5.1)."""
+        loaded = 0
+        with self._lock:
+            servers = list(self._servers)
+        for server in servers:
+            if server.available:
+                result = server.invoke(source)
+                if result.ok:
+                    loaded += 1
+        return loaded
+
+    def _heartbeat(self) -> None:
+        if self.directory is not None:
+            self.directory.heartbeat(f"idl_manager:{self.node_name}")
+
+    @property
+    def n_servers(self) -> int:
+        return len(self._servers)
+
+    @property
+    def n_available(self) -> int:
+        return sum(1 for server in self._servers if server.available)
+
+    # -- acquisition ----------------------------------------------------------
+
+    def _acquire(self) -> IdlServer:
+        """A READY server; crashed servers are restarted on the way
+        (self-recovering interactions, §5.1)."""
+        with self._lock:
+            for server in self._servers:
+                if server.state is ServerState.CRASHED:
+                    server.restart()
+                    self.recoveries += 1
+            for server in self._servers:
+                if server.available:
+                    return server
+        raise NoServerAvailable(f"no IDL server available on {self.node_name}")
+
+    # -- invocation --------------------------------------------------------------
+
+    def invoke(
+        self,
+        source: str,
+        photons: Optional[PhotonList] = None,
+        timeout_s: Optional[float] = None,
+        retries: int = 1,
+    ) -> InvocationResult:
+        """Run IDL source synchronously, restarting and retrying on crash."""
+        self._heartbeat()
+        attempt = 0
+        while True:
+            server = self._acquire()
+            if photons is not None:
+                server.bind_photons(photons)
+            result = server.invoke(source, timeout_s=timeout_s)
+            if result.ok or server.state is not ServerState.CRASHED or attempt >= retries:
+                return result
+            attempt += 1
+            server.restart()
+            self.recoveries += 1
+
+    def invoke_async(
+        self,
+        source: str,
+        photons: Optional[PhotonList] = None,
+        timeout_s: Optional[float] = None,
+    ) -> "Future[InvocationResult]":
+        future: Future = Future()
+
+        def worker() -> None:
+            try:
+                future.set_result(self.invoke(source, photons=photons, timeout_s=timeout_s))
+            except Exception as exc:
+                future.set_exception(exc)
+
+        threading.Thread(target=worker, daemon=True, name=f"{self.node_name}-invoke").start()
+        return future
+
+    def stats(self) -> dict:
+        return {
+            "node": self.node_name,
+            "servers": len(self._servers),
+            "available": self.n_available,
+            "invocations": sum(server.invocations for server in self._servers),
+            "failures": sum(server.failures for server in self._servers),
+            "restarts": sum(server.restarts for server in self._servers),
+            "recoveries": self.recoveries,
+        }

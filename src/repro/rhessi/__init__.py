@@ -1,0 +1,60 @@
+"""Synthetic RHESSI instrument and telemetry substrate.
+
+Replaces flight data (which we do not have) with statistically equivalent
+synthetic photon streams: Poisson backgrounds, flares, gamma-ray bursts,
+SAA transits, FITS+gzip unit packaging, event detection and calibration
+versioning.  See DESIGN.md for the substitution rationale.
+"""
+
+from .calibration import Calibration, CalibrationHistory, RecalibrationRecord
+from .detect import DetectedEvent, EventDetector, quiet_periods
+from .events import GammaRayBurst, Phenomenon, QuietSun, SaaTransit, SolarFlare
+from .instrument import (
+    COLLIMATOR_PITCHES_ARCSEC,
+    ENERGY_MAX_KEV,
+    ENERGY_MIN_KEV,
+    N_COLLIMATORS,
+    SPIN_PERIOD_S,
+    STANDARD_ENERGY_BANDS,
+    Detector,
+    band_index,
+    detectors,
+)
+from .photons import PhotonList, merge
+from .telemetry import (
+    ObservationPlan,
+    RawDataUnit,
+    TelemetryGenerator,
+    package_units,
+    standard_day_plan,
+)
+
+__all__ = [
+    "COLLIMATOR_PITCHES_ARCSEC",
+    "Calibration",
+    "CalibrationHistory",
+    "DetectedEvent",
+    "Detector",
+    "ENERGY_MAX_KEV",
+    "ENERGY_MIN_KEV",
+    "EventDetector",
+    "GammaRayBurst",
+    "N_COLLIMATORS",
+    "ObservationPlan",
+    "Phenomenon",
+    "PhotonList",
+    "QuietSun",
+    "RawDataUnit",
+    "RecalibrationRecord",
+    "SPIN_PERIOD_S",
+    "STANDARD_ENERGY_BANDS",
+    "SaaTransit",
+    "SolarFlare",
+    "TelemetryGenerator",
+    "band_index",
+    "detectors",
+    "merge",
+    "package_units",
+    "quiet_periods",
+    "standard_day_plan",
+]

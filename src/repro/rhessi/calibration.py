@@ -1,0 +1,133 @@
+"""Detector calibration and recalibration.
+
+"With RHESSI, as in many similar instruments, it is to be expected that
+the raw data will be recalibrated several times.  Accordingly, the raw
+data and all the derived data based on it must be versioned." (paper §3.1)
+
+A :class:`Calibration` maps recorded pulse heights to energies via a
+per-detector gain and offset.  :class:`CalibrationHistory` holds the
+version chain; applying version N+1 to version-N data produces a new
+photon list and a lineage record, which the DM stores in the operational
+part of the schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .instrument import N_COLLIMATORS
+from .photons import PhotonList
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """One calibration version: per-detector linear energy correction."""
+
+    version: int
+    gains: tuple[float, ...]     # multiplicative, one per detector
+    offsets: tuple[float, ...]   # additive keV, one per detector
+    note: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.gains) != N_COLLIMATORS or len(self.offsets) != N_COLLIMATORS:
+            raise ValueError(f"need {N_COLLIMATORS} gains and offsets")
+        if any(gain <= 0 for gain in self.gains):
+            raise ValueError("gains must be positive")
+
+    @classmethod
+    def identity(cls, version: int = 1) -> "Calibration":
+        return cls(
+            version=version,
+            gains=(1.0,) * N_COLLIMATORS,
+            offsets=(0.0,) * N_COLLIMATORS,
+            note="launch calibration",
+        )
+
+    def apply(self, photons: PhotonList) -> PhotonList:
+        """Return a new photon list with corrected energies."""
+        gains = np.asarray(self.gains)[photons.detectors - 1]
+        offsets = np.asarray(self.offsets)[photons.detectors - 1]
+        energies = np.maximum(photons.energies * gains + offsets, 0.1)
+        return PhotonList(photons.times.copy(), energies.astype(np.float32), photons.detectors.copy())
+
+    def compose_correction(self, previous: "Calibration") -> "Calibration":
+        """Correction that maps ``previous``-calibrated data to this version.
+
+        If raw pulse heights satisfy E_prev = g_p * E + o_p and
+        E_new = g_n * E + o_n, then E_new = (g_n/g_p) * E_prev +
+        (o_n - o_p * g_n/g_p).
+        """
+        gains = tuple(
+            new_gain / old_gain for new_gain, old_gain in zip(self.gains, previous.gains)
+        )
+        offsets = tuple(
+            new_offset - old_offset * ratio
+            for new_offset, old_offset, ratio in zip(self.offsets, previous.offsets, gains)
+        )
+        return Calibration(
+            version=self.version,
+            gains=gains,
+            offsets=offsets,
+            note=f"correction v{previous.version} -> v{self.version}",
+        )
+
+
+@dataclass
+class RecalibrationRecord:
+    """Lineage entry: which data was re-derived, from and to which version."""
+
+    unit_id: str
+    from_version: int
+    to_version: int
+    n_photons: int
+
+
+class CalibrationHistory:
+    """The ordered chain of calibration versions for the mission."""
+
+    def __init__(self) -> None:
+        self._versions: dict[int, Calibration] = {1: Calibration.identity(1)}
+        self.records: list[RecalibrationRecord] = []
+
+    @property
+    def current_version(self) -> int:
+        return max(self._versions)
+
+    @property
+    def current(self) -> Calibration:
+        return self._versions[self.current_version]
+
+    def get(self, version: int) -> Calibration:
+        if version not in self._versions:
+            raise KeyError(f"unknown calibration version {version}")
+        return self._versions[version]
+
+    def publish(self, gains, offsets, note: str = "") -> Calibration:
+        """Publish a new calibration version."""
+        version = self.current_version + 1
+        calibration = Calibration(version, tuple(gains), tuple(offsets), note)
+        self._versions[version] = calibration
+        return calibration
+
+    def recalibrate(
+        self, photons: PhotonList, unit_id: str, from_version: int, to_version: Optional[int] = None
+    ) -> tuple[PhotonList, RecalibrationRecord]:
+        """Re-derive a photon list from one version to another.
+
+        Returns the corrected photon list plus the lineage record the DM
+        should persist.
+        """
+        target = self.current_version if to_version is None else to_version
+        correction = self.get(target).compose_correction(self.get(from_version))
+        corrected = correction.apply(photons)
+        record = RecalibrationRecord(
+            unit_id=unit_id,
+            from_version=from_version,
+            to_version=target,
+            n_photons=len(corrected),
+        )
+        self.records.append(record)
+        return corrected, record

@@ -1,0 +1,187 @@
+"""Event detection over raw photon streams.
+
+When raw data units reach HEDC "they are once more searched for
+interesting events, using programs that detect a wider range of events
+such as solar flares, gamma ray bursts, or quiet periods" (paper §2.2).
+The detector bins the photon stream, estimates a running background, and
+flags threshold excursions, classifying them by hardness and duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .photons import PhotonList
+
+
+@dataclass(frozen=True)
+class DetectedEvent:
+    """One candidate event found in the stream."""
+
+    kind: str              # "flare" | "gamma_ray_burst" | "quiet" | "data_gap"
+    start: float
+    end: float
+    peak_time: float
+    peak_rate: float       # counts/s at peak
+    total_counts: int
+    mean_energy_kev: float
+    significance: float    # peak excess in background sigmas
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class EventDetector:
+    """Threshold detector with a median-filter background estimate."""
+
+    def __init__(
+        self,
+        bin_width_s: float = 4.0,
+        threshold_sigma: float = 5.0,
+        min_bins: int = 2,
+        background_window_bins: int = 31,
+    ):
+        if bin_width_s <= 0:
+            raise ValueError("bin width must be positive")
+        if threshold_sigma <= 0:
+            raise ValueError("threshold must be positive")
+        self.bin_width_s = bin_width_s
+        self.threshold_sigma = threshold_sigma
+        self.min_bins = min_bins
+        self.background_window_bins = background_window_bins
+
+    def _running_median(self, counts: np.ndarray) -> np.ndarray:
+        window = self.background_window_bins
+        if len(counts) <= window:
+            return np.full(len(counts), float(np.median(counts)))
+        half = window // 2
+        padded = np.pad(counts.astype(float), half, mode="edge")
+        view = np.lib.stride_tricks.sliding_window_view(padded, window)
+        return np.median(view, axis=1)[: len(counts)]
+
+    def detect(self, photons: PhotonList) -> list[DetectedEvent]:
+        """All events in the stream, time-ordered."""
+        if len(photons) == 0:
+            return []
+        edges, counts = photons.bin_counts(self.bin_width_s)
+        centers = (edges[:-1] + edges[1:]) / 2.0
+        background = self._running_median(counts)
+        sigma = np.sqrt(np.maximum(background, 1.0))
+        excess = (counts - background) / sigma
+        above = excess > self.threshold_sigma
+
+        events: list[DetectedEvent] = []
+        events.extend(self._excursions(photons, edges, centers, counts, background, excess, above))
+        events.extend(self._gaps(edges, counts))
+        events.sort(key=lambda event: event.start)
+        return events
+
+    def _excursions(self, photons, edges, centers, counts, background, excess, above):
+        events = []
+        index = 0
+        n = len(counts)
+        while index < n:
+            if not above[index]:
+                index += 1
+                continue
+            start_index = index
+            while index < n and above[index]:
+                index += 1
+            end_index = index  # exclusive
+            if end_index - start_index < self.min_bins:
+                continue
+            start_time = float(edges[start_index])
+            end_time = float(edges[end_index])
+            window = photons.select_time(start_time, end_time)
+            peak_bin = start_index + int(np.argmax(counts[start_index:end_index]))
+            peak_rate = float(counts[peak_bin]) / self.bin_width_s
+            mean_energy = float(window.energies.mean()) if len(window) else 0.0
+            significance = float(excess[peak_bin])
+            events.append(
+                DetectedEvent(
+                    kind=self._classify(end_time - start_time, mean_energy),
+                    start=start_time,
+                    end=end_time,
+                    peak_time=float(centers[peak_bin]),
+                    peak_rate=peak_rate,
+                    total_counts=int(counts[start_index:end_index].sum()),
+                    mean_energy_kev=mean_energy,
+                    significance=significance,
+                )
+            )
+        return events
+
+    def _gaps(self, edges, counts):
+        """Zero-count stretches: SAA transits or downlink gaps."""
+        events = []
+        zero = counts == 0
+        index = 0
+        n = len(counts)
+        min_gap_bins = max(3, self.min_bins)
+        while index < n:
+            if not zero[index]:
+                index += 1
+                continue
+            start_index = index
+            while index < n and zero[index]:
+                index += 1
+            if index - start_index >= min_gap_bins:
+                events.append(
+                    DetectedEvent(
+                        kind="data_gap",
+                        start=float(edges[start_index]),
+                        end=float(edges[index]),
+                        peak_time=float(edges[start_index]),
+                        peak_rate=0.0,
+                        total_counts=0,
+                        mean_energy_kev=0.0,
+                        significance=0.0,
+                    )
+                )
+        return events
+
+    def _classify(self, duration: float, mean_energy_kev: float) -> str:
+        """Hard and short → GRB; otherwise a flare.
+
+        RHESSI data can serve non-solar research (paper §3.2): gamma-ray
+        bursts are much harder (higher mean energy) and shorter than
+        flares.
+        """
+        if mean_energy_kev > 60.0 and duration < 60.0:
+            return "gamma_ray_burst"
+        return "flare"
+
+
+def quiet_periods(
+    photons: PhotonList,
+    events: Sequence[DetectedEvent],
+    min_duration_s: float = 120.0,
+) -> list[DetectedEvent]:
+    """Stretches between detected events, usable as calibration intervals."""
+    periods: list[DetectedEvent] = []
+    cursor = photons.start
+    boundaries = sorted(
+        [(event.start, event.end) for event in events if event.kind != "quiet"]
+    )
+    for start, end in boundaries + [(photons.end, photons.end)]:
+        if start - cursor >= min_duration_s:
+            window = photons.select_time(cursor, start)
+            mean_energy = float(window.energies.mean()) if len(window) else 0.0
+            periods.append(
+                DetectedEvent(
+                    kind="quiet",
+                    start=cursor,
+                    end=start,
+                    peak_time=(cursor + start) / 2.0,
+                    peak_rate=len(window) / max(start - cursor, 1e-9),
+                    total_counts=len(window),
+                    mean_energy_kev=mean_energy,
+                    significance=0.0,
+                )
+            )
+        cursor = max(cursor, end)
+    return periods

@@ -1,0 +1,156 @@
+"""Models of the phenomena the satellite observes.
+
+HEDC deliberately has no fixed data "types" — only *events* (paper §3.3) —
+but the telemetry itself is produced by physical phenomena: solar flares,
+gamma-ray bursts, quiet sun, and passages through the South Atlantic
+Anomaly (during which detectors are effectively blind).  Each phenomenon
+is a time-varying photon rate profile plus an energy distribution; the
+generator superimposes them on a background and draws an inhomogeneous
+Poisson process.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+#: GOES class → approximate peak soft-X-ray photon rate multiplier.
+GOES_CLASSES = {"A": 0.5, "B": 1.0, "C": 4.0, "M": 16.0, "X": 64.0}
+
+
+@dataclass(frozen=True)
+class Phenomenon:
+    """Base class: a photon-rate profile over a time interval."""
+
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def rate(self, t: np.ndarray) -> np.ndarray:
+        """Photon rate (counts/s, all detectors) at times ``t``."""
+        raise NotImplementedError
+
+    def draw_energies(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Energies (keV) for ``n`` photons of this phenomenon."""
+        raise NotImplementedError
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SolarFlare(Phenomenon):
+    """A flare: fast rise, exponential decay, thermal+nonthermal spectrum."""
+
+    goes_class: str = "C"
+    peak_rate: float = 400.0  # counts/s above background at peak
+    position_arcsec: tuple[float, float] = (300.0, 200.0)  # heliocentric offset
+
+    def __post_init__(self) -> None:
+        if self.goes_class not in GOES_CLASSES:
+            raise ValueError(f"unknown GOES class {self.goes_class!r}")
+
+    @property
+    def scaled_peak_rate(self) -> float:
+        return self.peak_rate * GOES_CLASSES[self.goes_class]
+
+    def rate(self, t: np.ndarray) -> np.ndarray:
+        rise = self.duration * 0.15
+        peak_time = self.start + rise
+        decay = self.duration * 0.3
+        out = np.zeros_like(t, dtype=np.float64)
+        rising = (t >= self.start) & (t < peak_time)
+        falling = (t >= peak_time) & (t < self.end)
+        out[rising] = self.scaled_peak_rate * (t[rising] - self.start) / rise
+        out[falling] = self.scaled_peak_rate * np.exp(-(t[falling] - peak_time) / decay)
+        return out
+
+    def draw_energies(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Thermal component (~80%): exponential around 10 keV; nonthermal
+        # tail (~20%): power law E^-3 up to hundreds of keV.
+        thermal_n = int(round(n * 0.8))
+        thermal = 3.0 + rng.exponential(8.0, size=thermal_n)
+        u = rng.uniform(size=n - thermal_n)
+        # Inverse-CDF sampling of E^-3 between 25 and 500 keV.
+        low, high = 25.0, 500.0
+        tail = (low ** -2 - u * (low ** -2 - high ** -2)) ** -0.5
+        return np.concatenate([thermal, tail])
+
+    @property
+    def kind(self) -> str:
+        return "flare"
+
+
+@dataclass(frozen=True)
+class GammaRayBurst(Phenomenon):
+    """A non-solar event: short, hard-spectrum burst (paper §3.2)."""
+
+    peak_rate: float = 2500.0
+
+    def rate(self, t: np.ndarray) -> np.ndarray:
+        # FRED profile: fast rise, exponential decay.
+        rise = max(self.duration * 0.05, 0.05)
+        peak_time = self.start + rise
+        decay = self.duration * 0.25
+        out = np.zeros_like(t, dtype=np.float64)
+        rising = (t >= self.start) & (t < peak_time)
+        falling = (t >= peak_time) & (t < self.end)
+        out[rising] = self.peak_rate * (t[rising] - self.start) / rise
+        out[falling] = self.peak_rate * np.exp(-(t[falling] - peak_time) / decay)
+        return out
+
+    def draw_energies(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Band-like hard spectrum: power law E^-1.5, 30 keV - 10 MeV.
+        u = rng.uniform(size=n)
+        low, high = 30.0, 10_000.0
+        return (low ** -0.5 - u * (low ** -0.5 - high ** -0.5)) ** -2.0
+
+    @property
+    def kind(self) -> str:
+        return "gamma_ray_burst"
+
+
+@dataclass(frozen=True)
+class QuietSun(Phenomenon):
+    """Quiet period: low, slowly varying soft emission."""
+
+    level: float = 20.0
+
+    def rate(self, t: np.ndarray) -> np.ndarray:
+        inside = (t >= self.start) & (t < self.end)
+        out = np.zeros_like(t, dtype=np.float64)
+        out[inside] = self.level * (1.0 + 0.1 * np.sin(2 * math.pi * t[inside] / 600.0))
+        return out
+
+    def draw_energies(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return 3.0 + rng.exponential(3.0, size=n)
+
+    @property
+    def kind(self) -> str:
+        return "quiet"
+
+
+@dataclass(frozen=True)
+class SaaTransit(Phenomenon):
+    """South Atlantic Anomaly passage: detectors off, zero photons."""
+
+    def rate(self, t: np.ndarray) -> np.ndarray:
+        return np.zeros_like(t, dtype=np.float64)
+
+    def draw_energies(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.empty(0)
+
+    @property
+    def kind(self) -> str:
+        return "saa_transit"
+
+    def blocks(self, t: np.ndarray) -> np.ndarray:
+        """Boolean mask of times during which this transit blanks the sky."""
+        return (t >= self.start) & (t < self.end)

@@ -1,0 +1,72 @@
+"""Physical constants of the (simulated) RHESSI instrument.
+
+Values follow the paper's description (§2.1): nine rotating modulation
+collimators, each with a germanium detector, covering 3 keV soft X-rays to
+20 MeV gamma-rays, ~2.0 GB of raw telemetry per day packaged in ~40 MB
+units.  The synthetic generator scales the *volume* down (laptop-scale)
+but keeps every structural property: detector count, energy range, spin
+modulation, unit segmentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+N_COLLIMATORS = 9
+N_SEGMENTS_PER_DETECTOR = 2  # front and rear germanium segments
+ENERGY_MIN_KEV = 3.0
+ENERGY_MAX_KEV = 20_000.0
+SPIN_PERIOD_S = 4.0  # ~15 rpm spacecraft rotation
+SPATIAL_RESOLUTION_ARCSEC = 2.0
+SPECTRAL_RESOLUTION_KEV = 1.0
+
+RAW_BYTES_PER_DAY = 2_000_000_000  # 2.0 GB/day (paper)
+UNIT_BYTES = 40_000_000            # ~40 MB raw-data units (paper)
+
+#: Grid-pair angular pitches of the nine collimators (arcsec), coarsest to
+#: finest; used by the imaging back-projection kernel.
+COLLIMATOR_PITCHES_ARCSEC = (
+    2.26, 3.92, 6.79, 11.76, 20.36, 35.27, 61.08, 105.8, 183.2,
+)
+
+#: Standard analysis energy bands (keV) used by the extended catalog.
+STANDARD_ENERGY_BANDS = (
+    (3.0, 6.0),
+    (6.0, 12.0),
+    (12.0, 25.0),
+    (25.0, 50.0),
+    (50.0, 100.0),
+    (100.0, 300.0),
+    (300.0, 800.0),
+    (800.0, 7000.0),
+    (7000.0, 20000.0),
+)
+
+
+@dataclass(frozen=True)
+class Detector:
+    """One germanium detector behind one collimator."""
+
+    index: int            # 1..9
+    pitch_arcsec: float   # grid pitch of the collimator in front
+    live: bool = True     # detectors drop out occasionally in flight
+
+    @property
+    def name(self) -> str:
+        return f"G{self.index}"
+
+
+def detectors() -> list[Detector]:
+    """The standard set of nine detectors."""
+    return [
+        Detector(index + 1, pitch)
+        for index, pitch in enumerate(COLLIMATOR_PITCHES_ARCSEC)
+    ]
+
+
+def band_index(energy_kev: float) -> int:
+    """Index of the standard energy band containing ``energy_kev``."""
+    for index, (low, high) in enumerate(STANDARD_ENERGY_BANDS):
+        if low <= energy_kev < high:
+            return index
+    return len(STANDARD_ENERGY_BANDS) - 1

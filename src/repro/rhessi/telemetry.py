@@ -1,0 +1,221 @@
+"""Synthetic telemetry generation and raw-data-unit packaging.
+
+Mirrors the flight pipeline of paper §2.1: the raw photon stream is
+"segmented along the time axis, packaged into units of roughly 40 MB,
+formatted as FITS files and compressed using gnu-zip".  The generator
+produces an observation timeline (phenomena on top of background), draws
+photons as an inhomogeneous Poisson process, and packages them into
+time-segmented gzipped FITS units.
+
+Volumes are scaled down for laptop use; the ``unit_target_photons``
+parameter controls segmentation the way the 40 MB target does in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..fits import Header, write
+from .events import GammaRayBurst, Phenomenon, QuietSun, SaaTransit, SolarFlare
+from .instrument import N_COLLIMATORS, SPIN_PERIOD_S
+from .photons import PhotonList
+
+
+@dataclass
+class ObservationPlan:
+    """A scripted observation window: background plus phenomena."""
+
+    start: float
+    duration: float
+    background_rate: float = 50.0
+    phenomena: list[Phenomenon] = field(default_factory=list)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def add(self, phenomenon: Phenomenon) -> "ObservationPlan":
+        if phenomenon.start < self.start or phenomenon.end > self.end:
+            raise ValueError("phenomenon outside the observation window")
+        self.phenomena.append(phenomenon)
+        return self
+
+
+def standard_day_plan(
+    start: float = 0.0,
+    duration: float = 3600.0,
+    seed: int = 7,
+    n_flares: int = 3,
+    n_bursts: int = 1,
+    n_saa: int = 1,
+) -> ObservationPlan:
+    """A representative observation window with a mix of phenomena.
+
+    Defaults generate one "scaled day" of an hour containing flares of
+    random GOES classes, a gamma-ray burst and an SAA transit — the event
+    mix that motivates HEDC's type-free event model (§3.2-3.3).
+    """
+    rng = np.random.default_rng(seed)
+    plan = ObservationPlan(start, duration)
+    classes = ["B", "C", "C", "M", "X"]
+    slot = duration / max(1, n_flares + n_bursts + n_saa + 1)
+    cursor = start + slot * 0.3
+
+    def clamp(wanted: float) -> float:
+        """Fit a phenomenon inside the remaining window."""
+        return max(1.0, min(wanted, plan.end - cursor - 1.0))
+
+    for index in range(n_flares):
+        plan.add(
+            SolarFlare(
+                start=cursor,
+                duration=clamp(float(rng.uniform(80.0, 240.0))),
+                goes_class=str(rng.choice(classes)),
+                position_arcsec=(float(rng.uniform(-900, 900)), float(rng.uniform(-900, 900))),
+            )
+        )
+        cursor += slot
+    for index in range(n_bursts):
+        plan.add(GammaRayBurst(start=cursor, duration=clamp(float(rng.uniform(5.0, 30.0)))))
+        cursor += slot
+    for index in range(n_saa):
+        plan.add(SaaTransit(start=cursor, duration=clamp(float(rng.uniform(120.0, 300.0)))))
+        cursor += slot
+    return plan
+
+
+class TelemetryGenerator:
+    """Draws photon lists from an :class:`ObservationPlan`."""
+
+    def __init__(self, plan: ObservationPlan, seed: int = 0, time_resolution_s: float = 0.5):
+        self.plan = plan
+        self._rng = np.random.default_rng(seed)
+        self.time_resolution_s = time_resolution_s
+
+    def _rate_profile(self) -> tuple[np.ndarray, np.ndarray]:
+        """(grid_times, total_rate) over the window, SAA blanking applied."""
+        grid = np.arange(self.plan.start, self.plan.end, self.time_resolution_s)
+        total = np.full_like(grid, self.plan.background_rate, dtype=np.float64)
+        for phenomenon in self.plan.phenomena:
+            if isinstance(phenomenon, SaaTransit):
+                continue
+            total += phenomenon.rate(grid)
+        for phenomenon in self.plan.phenomena:
+            if isinstance(phenomenon, SaaTransit):
+                total[phenomenon.blocks(grid)] = 0.0
+        return grid, total
+
+    def generate(self) -> PhotonList:
+        """Draw the full photon list for the window."""
+        grid, rate = self._rate_profile()
+        dt = self.time_resolution_s
+        counts = self._rng.poisson(rate * dt)
+        n_total = int(counts.sum())
+        times = np.empty(n_total, dtype=np.float64)
+        position = 0
+        nonzero = np.nonzero(counts)[0]
+        for index in nonzero:
+            n = counts[index]
+            times[position:position + n] = grid[index] + self._rng.uniform(0, dt, size=n)
+            position += n
+        times.sort()
+        energies = self._draw_energies(times)
+        detectors = self._draw_detectors(times)
+        photons = PhotonList(times, energies, detectors)
+        photons.validate()
+        return photons
+
+    def _draw_energies(self, times: np.ndarray) -> np.ndarray:
+        """Attribute each photon to the locally dominant phenomenon."""
+        energies = 3.0 + self._rng.exponential(5.0, size=len(times))  # background
+        grid_rates = []
+        for phenomenon in self.plan.phenomena:
+            if isinstance(phenomenon, SaaTransit):
+                continue
+            rate_here = phenomenon.rate(times)
+            grid_rates.append((phenomenon, rate_here))
+        if not grid_rates:
+            return energies.astype(np.float32)
+        background = np.full(len(times), self.plan.background_rate)
+        total = background + sum(rate for _phenomenon, rate in grid_rates)
+        pick = self._rng.uniform(size=len(times)) * np.maximum(total, 1e-12)
+        cumulative = background.copy()
+        for phenomenon, rate_here in grid_rates:
+            mask = (pick >= cumulative) & (pick < cumulative + rate_here)
+            n = int(mask.sum())
+            if n:
+                energies[mask] = phenomenon.draw_energies(self._rng, n)
+            cumulative += rate_here
+        return energies.astype(np.float32)
+
+    def _draw_detectors(self, times: np.ndarray) -> np.ndarray:
+        """Spin modulation: detector hit pattern rotates with the spacecraft."""
+        phase = (times % SPIN_PERIOD_S) / SPIN_PERIOD_S
+        weights = 1.0 + 0.3 * np.cos(2 * np.pi * (phase[:, None] - np.arange(N_COLLIMATORS) / N_COLLIMATORS))
+        weights /= weights.sum(axis=1, keepdims=True)
+        cumulative = np.cumsum(weights, axis=1)
+        u = self._rng.uniform(size=len(times))[:, None]
+        return (u < cumulative).argmax(axis=1).astype(np.int16) + 1
+
+
+@dataclass(frozen=True)
+class RawDataUnit:
+    """One packaged telemetry unit: a gzipped FITS file on disk."""
+
+    unit_id: str
+    path: Path
+    start: float
+    end: float
+    n_photons: int
+    bytes_on_disk: int
+    calibration_version: int = 1
+
+
+def package_units(
+    photons: PhotonList,
+    directory: Path,
+    unit_target_photons: int = 20_000,
+    calibration_version: int = 1,
+    prefix: str = "hsi",
+) -> list[RawDataUnit]:
+    """Segment a photon list along the time axis into gzipped FITS units.
+
+    Equivalent of the flight pipeline's 40 MB-unit packaging, with
+    ``unit_target_photons`` standing in for the byte budget.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    units: list[RawDataUnit] = []
+    if len(photons) == 0:
+        return units
+    n_units = max(1, int(np.ceil(len(photons) / unit_target_photons)))
+    boundaries = np.linspace(0, len(photons), n_units + 1).astype(int)
+    for unit_index in range(n_units):
+        lo, hi = boundaries[unit_index], boundaries[unit_index + 1]
+        if hi <= lo:
+            continue
+        segment = PhotonList(
+            photons.times[lo:hi], photons.energies[lo:hi], photons.detectors[lo:hi]
+        )
+        unit_id = f"{prefix}_{unit_index:04d}_{int(segment.start):010d}"
+        header = Header()
+        header.set("UNITID", unit_id)
+        header.set("CALVER", calibration_version, "calibration version")
+        path = directory / f"{unit_id}.fits.gz"
+        n_bytes = write(path, segment.to_fits(extra_header=header))
+        units.append(
+            RawDataUnit(
+                unit_id=unit_id,
+                path=path,
+                start=segment.start,
+                end=segment.end,
+                n_photons=len(segment),
+                bytes_on_disk=n_bytes,
+                calibration_version=calibration_version,
+            )
+        )
+    return units

@@ -1,0 +1,25 @@
+"""The two-part HEDC database schema (paper §4.1).
+
+``install_generic`` and ``install_rhessi`` are deliberately separate
+entry points: the generic part carries no instrument knowledge, and the
+domain part can be swapped for another instrument's schema without
+touching it — the paper's central change-absorption mechanism.
+"""
+
+from .generic import GENERIC_SCHEMAS, install_generic
+from .rhessi_schema import RHESSI_SCHEMAS, install_rhessi
+
+
+def install_all(database) -> None:
+    """Create the full schema: generic first, then the RHESSI part."""
+    install_generic(database)
+    install_rhessi(database)
+
+
+__all__ = [
+    "GENERIC_SCHEMAS",
+    "RHESSI_SCHEMAS",
+    "install_all",
+    "install_generic",
+    "install_rhessi",
+]

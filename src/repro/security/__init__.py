@@ -1,0 +1,41 @@
+"""Users, authentication and constraint enforcement (paper §5.3, §5.5)."""
+
+from .auth import (
+    GROUP_RIGHTS,
+    IMPORT_LOGIN,
+    RIGHTS,
+    AuthError,
+    User,
+    UserManager,
+    hash_password,
+    verify_password,
+)
+from .constraints import (
+    OWNED_TABLES,
+    ConstraintViolation,
+    check_can_edit,
+    check_can_read,
+    check_no_dependencies,
+    check_right,
+    scoped_where,
+    visibility_predicate,
+)
+
+__all__ = [
+    "AuthError",
+    "ConstraintViolation",
+    "GROUP_RIGHTS",
+    "IMPORT_LOGIN",
+    "OWNED_TABLES",
+    "RIGHTS",
+    "User",
+    "UserManager",
+    "check_can_edit",
+    "check_can_read",
+    "check_no_dependencies",
+    "check_right",
+    "hash_password",
+    "scoped_where",
+    "verify_password",
+    "visibility_predicate",
+]

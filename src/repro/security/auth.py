@@ -1,0 +1,164 @@
+"""Accounts and authentication.
+
+"HEDC requires an account to access its more advanced features.  Non
+authorized users may only browse public data." (paper §5.5)  Passwords
+are salted-PBKDF2 hashed; rights are a comma-separated set stored on the
+user profile in ``admin_users``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..metadb import Comparison, Database, Insert, Select, Update
+
+RIGHTS = ("browse", "download", "analyze", "upload", "admin")
+
+#: Group → default rights, per the user spectrum of paper §1 (casual
+#: non-specialist through advanced mirror-everything users).
+GROUP_RIGHTS = {
+    "guest": ("browse",),
+    "user": ("browse", "download"),
+    "scientist": ("browse", "download", "analyze", "upload"),
+    "admin": RIGHTS,
+}
+
+_PBKDF2_ITERATIONS = 20_000
+
+
+class AuthError(Exception):
+    """Authentication or authorization failure."""
+
+
+def hash_password(password: str, salt: Optional[bytes] = None) -> str:
+    """Salted PBKDF2-SHA256; returns ``salt_hex$digest_hex``."""
+    if salt is None:
+        salt = os.urandom(16)
+    digest = hashlib.pbkdf2_hmac("sha256", password.encode("utf-8"), salt, _PBKDF2_ITERATIONS)
+    return f"{salt.hex()}${digest.hex()}"
+
+
+def verify_password(password: str, stored: str) -> bool:
+    """Check a password against a stored ``salt$digest`` hash."""
+    try:
+        salt_hex, _digest = stored.split("$", 1)
+    except ValueError:
+        return False
+    return hash_password(password, bytes.fromhex(salt_hex)) == stored
+
+
+@dataclass(frozen=True)
+class User:
+    """An authenticated principal."""
+
+    user_id: int
+    login: str
+    group: str
+    rights: frozenset[str]
+
+    def has_right(self, right: str) -> bool:
+        return right in self.rights or "admin" in self.rights
+
+    @property
+    def is_admin(self) -> bool:
+        return "admin" in self.rights
+
+
+#: The "import user" that owns catalog tuples before they are made public
+#: (paper §5.5).
+IMPORT_LOGIN = "import"
+
+
+class UserManager:
+    """Account management over the ``admin_users`` table."""
+
+    def __init__(self, database: Database):
+        self._db = database
+
+    def create_user(
+        self,
+        login: str,
+        password: str,
+        group: str = "user",
+        rights: Optional[tuple[str, ...]] = None,
+    ) -> User:
+        if group not in GROUP_RIGHTS:
+            raise AuthError(f"unknown group {group!r}")
+        chosen = rights if rights is not None else GROUP_RIGHTS[group]
+        for right in chosen:
+            if right not in RIGHTS:
+                raise AuthError(f"unknown right {right!r}")
+        user_id = self._db.allocate_id("admin_users", "user_id")
+        self._db.execute(
+            Insert(
+                "admin_users",
+                {
+                    "user_id": user_id,
+                    "login": login,
+                    "password_hash": hash_password(password),
+                    "user_group": group,
+                    "rights": ",".join(chosen),
+                },
+            )
+        )
+        return User(user_id, login, group, frozenset(chosen))
+
+    def ensure_import_user(self) -> User:
+        """The system account that loads catalogs (idempotent)."""
+        existing = self.find(IMPORT_LOGIN)
+        if existing is not None:
+            return existing
+        return self.create_user(IMPORT_LOGIN, os.urandom(12).hex(), group="admin")
+
+    def find(self, login: str) -> Optional[User]:
+        rows = self._db.execute(
+            Select("admin_users", where=Comparison("login", "=", login))
+        )
+        if not rows:
+            return None
+        return self._to_user(rows[0])
+
+    def get(self, user_id: int) -> Optional[User]:
+        rows = self._db.execute(
+            Select("admin_users", where=Comparison("user_id", "=", user_id))
+        )
+        return self._to_user(rows[0]) if rows else None
+
+    def authenticate(self, login: str, password: str) -> User:
+        """One DBMS query plus one update, as measured in §7.2."""
+        rows = self._db.execute(
+            Select("admin_users", where=Comparison("login", "=", login))
+        )
+        if not rows:
+            raise AuthError(f"unknown login {login!r}")
+        row = rows[0]
+        if row["status"] != "active":
+            raise AuthError(f"account {login!r} is {row['status']}")
+        if not verify_password(password, row["password_hash"]):
+            raise AuthError("bad password")
+        self._db.execute(
+            Update(
+                "admin_users",
+                {"last_login_at": time.time()},
+                Comparison("user_id", "=", row["user_id"]),
+            )
+        )
+        return self._to_user(row)
+
+    def deactivate(self, user_id: int) -> None:
+        self._db.execute(
+            Update("admin_users", {"status": "disabled"}, Comparison("user_id", "=", user_id))
+        )
+
+    @staticmethod
+    def _to_user(row: dict) -> User:
+        return User(
+            row["user_id"],
+            row["login"],
+            row["user_group"],
+            frozenset(right for right in row["rights"].split(",") if right),
+        )

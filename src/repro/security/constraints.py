@@ -1,0 +1,89 @@
+"""Visibility and constraint enforcement (paper §5.3, §5.5).
+
+Three constraint families guard every DM process:
+
+* privacy — only public data may be read/processed by non-owners;
+* access — queries may be allowed while edits are denied per user group;
+* integrity — application rules like "tuples belonging to an entity may
+  not be deleted if data dependencies exist" (enforced in the DM's
+  semantic layer with these helpers).
+
+"The system typically appends the user id to all queries so that only
+public tuples or tuples owned by that user are returned" — that is
+:func:`visibility_predicate`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..metadb import And, Comparison, Or, Predicate
+from .auth import AuthError, User
+
+
+class ConstraintViolation(Exception):
+    """A privacy, access or integrity constraint was violated."""
+
+
+#: Domain tables that carry ownership columns.
+OWNED_TABLES = ("hle", "ana", "catalogs")
+
+
+def visibility_predicate(user: Optional[User]) -> Predicate:
+    """Predicate appended to queries over owned tables.
+
+    Anonymous callers see only public tuples; owners additionally see
+    their own; admins ("super-users", §6.1) see everything — represented
+    by a tautology the planner can drop.
+    """
+    public = Comparison("public", "=", True)
+    if user is None:
+        return public
+    if user.is_admin:
+        return Or([public, Comparison("public", "=", False)])
+    return Or([public, Comparison("owner_id", "=", user.user_id)])
+
+
+def scoped_where(user: Optional[User], where: Optional[Predicate]) -> Predicate:
+    """Combine a caller's WHERE with the visibility predicate."""
+    visibility = visibility_predicate(user)
+    if where is None:
+        return visibility
+    return And([where, visibility])
+
+
+def check_can_read(user: Optional[User], row: dict) -> None:
+    """Privacy constraint on a single fetched tuple."""
+    if row.get("public"):
+        return
+    if user is not None and (user.is_admin or row.get("owner_id") == user.user_id):
+        return
+    raise ConstraintViolation("tuple is private")
+
+
+def check_can_edit(user: Optional[User], row: dict) -> None:
+    """Access constraint: "only the owner may change or delete private
+    data" (§5.5)."""
+    if user is None:
+        raise ConstraintViolation("anonymous users cannot edit")
+    if user.is_admin or row.get("owner_id") == user.user_id:
+        return
+    raise ConstraintViolation(f"user {user.login!r} does not own this tuple")
+
+
+def check_right(user: Optional[User], right: str) -> None:
+    """Require an account right ('browse' is granted to everyone)."""
+    if right == "browse":
+        return
+    if user is None:
+        raise AuthError(f"right {right!r} requires an account")
+    if not user.has_right(right):
+        raise AuthError(f"user {user.login!r} lacks right {right!r}")
+
+
+def check_no_dependencies(dependent_count: int, what: str) -> None:
+    """Integrity constraint: refuse deletion while dependencies exist."""
+    if dependent_count > 0:
+        raise ConstraintViolation(
+            f"cannot delete {what}: {dependent_count} dependent tuple(s) exist"
+        )

@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate.
+
+Used by :mod:`repro.evalmodel` to reproduce the paper's testbed experiments
+(Figures 4-5, Table 1) on a single machine.
+"""
+
+from .events import EventHandle, SimulationError, Simulator
+from .process import AllOf, Future, Interrupted, Process, spawn
+from .random_streams import RandomStream, StreamFactory
+from .resources import FcfsServer, ProcessorSharing
+from .stats import Tally, TimeWeighted
+
+__all__ = [
+    "AllOf",
+    "EventHandle",
+    "FcfsServer",
+    "Future",
+    "Interrupted",
+    "Process",
+    "ProcessorSharing",
+    "RandomStream",
+    "SimulationError",
+    "Simulator",
+    "StreamFactory",
+    "Tally",
+    "TimeWeighted",
+    "spawn",
+]

@@ -1,0 +1,74 @@
+"""Independent, reproducible random-number streams for simulation models.
+
+Each logical source of randomness in a model (inter-arrival times, service
+times, routing) gets its own stream so that changing one part of a model
+does not perturb the random sequence seen by another (common random
+numbers / variance reduction).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+
+class RandomStream:
+    """A named, seeded random stream with the distributions models need."""
+
+    def __init__(self, seed: int, name: str = ""):
+        self.name = name
+        self._rng = random.Random(seed)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return self._rng.uniform(low, high)
+
+    def exponential(self, mean: float) -> float:
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        return self._rng.expovariate(1.0 / mean)
+
+    def normal(self, mean: float, stdev: float) -> float:
+        return self._rng.gauss(mean, stdev)
+
+    def lognormal(self, mean: float, cv: float) -> float:
+        """Lognormal with the given arithmetic mean and coefficient of variation."""
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - sigma2 / 2.0
+        return self._rng.lognormvariate(mu, math.sqrt(sigma2))
+
+    def triangular(self, low: float, high: float, mode: Optional[float] = None) -> float:
+        return self._rng.triangular(low, high, mode)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._rng.randint(low, high)
+
+    def choice(self, sequence):
+        return self._rng.choice(sequence)
+
+    def poisson(self, mean: float) -> int:
+        """Poisson variate via inversion (adequate for small means)."""
+        if mean < 0:
+            raise ValueError("mean must be non-negative")
+        if mean > 700:
+            # Normal approximation to avoid underflow for large means.
+            return max(0, round(self._rng.gauss(mean, math.sqrt(mean))))
+        threshold = math.exp(-mean)
+        count, product = 0, self._rng.random()
+        while product > threshold:
+            count += 1
+            product *= self._rng.random()
+        return count
+
+
+class StreamFactory:
+    """Derives independent named streams from a master seed."""
+
+    def __init__(self, master_seed: int = 0):
+        self._master_seed = master_seed
+
+    def stream(self, name: str) -> RandomStream:
+        derived = hash((self._master_seed, name)) & 0x7FFFFFFF
+        return RandomStream(derived, name)

@@ -1,0 +1,27 @@
+"""The StreamCorder fat client (paper §6.2): cordlets, two cache
+strategies, progressive analysis and peer-to-peer data exchange."""
+
+from .cache import CacheStats, LocalCloneCache, StaticPathCache
+from .client import Job, StreamCorder
+from .cordlets import (
+    Cordlet,
+    CordletRegistry,
+    DensityPlotCordlet,
+    HistogramCordlet,
+    LightcurveCordlet,
+    ProgressiveViewCordlet,
+)
+
+__all__ = [
+    "CacheStats",
+    "Cordlet",
+    "CordletRegistry",
+    "DensityPlotCordlet",
+    "HistogramCordlet",
+    "Job",
+    "LightcurveCordlet",
+    "LocalCloneCache",
+    "ProgressiveViewCordlet",
+    "StaticPathCache",
+    "StreamCorder",
+]

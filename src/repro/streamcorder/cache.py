@@ -1,0 +1,102 @@
+"""The StreamCorder's two caching strategies (paper §6.2).
+
+* :class:`StaticPathCache` — "calculates a unique but static file system
+  path for each data-object ... based on fixed object attributes, such as
+  type and creation date, the cache structure is predetermined."
+* :class:`LocalCloneCache` — "adds a local DBMS installation for dynamic
+  object references and meta data caching ... cache object-retrieval and
+  -placement is identical to the way the server DM handles the server-side
+  data archives", making every installation a clone of the HEDC server.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional, Union
+
+from ..metadb import Comparison, Select
+
+
+class CacheStats:
+    """Hit/miss/byte counters shared by both cache strategies."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.bytes_cached = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class StaticPathCache:
+    """Version 1: deterministic paths from fixed object attributes."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path_for(self, object_type: str, item_id: str, created_at: float = 0.0) -> Path:
+        """The predetermined cache location for one data object."""
+        digest = hashlib.sha1(item_id.encode()).hexdigest()[:12]
+        day = int(created_at // 86_400)
+        return self.root / object_type / f"d{day:06d}" / digest
+
+    def get(self, object_type: str, item_id: str, created_at: float = 0.0) -> Optional[bytes]:
+        path = self.path_for(object_type, item_id, created_at)
+        if path.exists():
+            self.stats.hits += 1
+            return path.read_bytes()
+        self.stats.misses += 1
+        return None
+
+    def put(self, object_type: str, item_id: str, payload: bytes,
+            created_at: float = 0.0) -> Path:
+        path = self.path_for(object_type, item_id, created_at)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if not path.exists():
+            path.write_bytes(payload)
+            self.stats.bytes_cached += len(payload)
+        return path
+
+    def contains(self, object_type: str, item_id: str, created_at: float = 0.0) -> bool:
+        return self.path_for(object_type, item_id, created_at).exists()
+
+
+class LocalCloneCache:
+    """Version 2: a local DM (with its own DBMS and archive) as the cache.
+
+    Retrieval and placement go through the local DM's name mapping and
+    storage manager — the same code paths the server uses, because the
+    local installation *is* a server clone (same schema).
+    """
+
+    def __init__(self, local_dm):
+        self.dm = local_dm
+        self.stats = CacheStats()
+
+    def get(self, item_id: str) -> Optional[bytes]:
+        rows = self.dm.io.execute(
+            Select("loc_files", where=Comparison("item_id", "=", item_id))
+        )
+        if not rows:
+            self.stats.misses += 1
+            return None
+        names = self.dm.io.names.resolve_files(item_id)
+        self.stats.hits += 1
+        return self.dm.io.read_item(names[0])
+
+    def put(self, item_id: str, rel_path: str, payload: bytes) -> None:
+        if self.get(item_id) is not None:
+            return
+        self.stats.misses -= 1  # the probe above was a placement check
+        stored = self.dm.io.store_payload(rel_path, payload)
+        self.dm.io.names.register_file(
+            item_id, stored.archive_id, stored.rel_path,
+            size_bytes=stored.size, checksum=stored.checksum,
+        )
+        self.stats.bytes_cached += len(payload)

@@ -1,0 +1,124 @@
+"""Cordlets: the StreamCorder's dynamically loadable modules (paper §6.2).
+
+"The functionality is divided between basic services and dynamically
+loadable modules (or cordlets) ... Modules are data-type sensitive, in
+the sense that the StreamCorder offers different modules to the user
+depending on the context.  The context is determined by the data type of
+the view or analysis in question."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..analysis import histogram, lightcurve, render_pgm, render_series_pgm
+from ..rhessi import PhotonList
+from ..wavelets import decode
+
+
+class Cordlet:
+    """A loadable module: declares which context data types it handles."""
+
+    name = "abstract"
+    data_types: tuple[str, ...] = ()
+
+    def handles(self, data_type: str) -> bool:
+        return data_type in self.data_types
+
+    def run(self, context: dict[str, Any]) -> dict[str, Any]:
+        raise NotImplementedError
+
+
+class LightcurveCordlet(Cordlet):
+    """Local lightcurve computation over downloaded photon data."""
+
+    name = "lightcurve"
+    data_types = ("photons",)
+
+    def run(self, context: dict[str, Any]) -> dict[str, Any]:
+        photons: PhotonList = context["photons"]
+        bin_width = float(context.get("bin_width_s", 4.0))
+        curve = lightcurve(photons, bin_width_s=bin_width)
+        rates = curve.total_rate()
+        return {
+            "rates": rates,
+            "image": render_series_pgm(rates),
+            "peak": curve.peak(),
+        }
+
+
+class HistogramCordlet(Cordlet):
+    name = "histogram"
+    data_types = ("photons",)
+
+    def run(self, context: dict[str, Any]) -> dict[str, Any]:
+        photons: PhotonList = context["photons"]
+        result = histogram(
+            photons,
+            attribute=context.get("attribute", "energy"),
+            n_bins=int(context.get("n_bins", 64)),
+        )
+        return {
+            "counts": result.counts,
+            "edges": result.edges,
+            "image": render_series_pgm(result.counts.astype(float)),
+        }
+
+
+class ProgressiveViewCordlet(Cordlet):
+    """Progressive decode of a wavelet view prefix (§6.3): the client does
+    the decoding "to minimize the load at the server"."""
+
+    name = "progressive_view"
+    data_types = ("wavelet_stream",)
+
+    def run(self, context: dict[str, Any]) -> dict[str, Any]:
+        payload: bytes = context["payload"]
+        values = decode(payload)
+        return {
+            "values": values,
+            "image": render_series_pgm(np.maximum(values, 0.0)),
+            "bytes_decoded": len(payload),
+        }
+
+
+class DensityPlotCordlet(Cordlet):
+    """Renders a density array shipped by the server's viz subsystem."""
+
+    name = "density_plot"
+    data_types = ("density_array",)
+
+    def run(self, context: dict[str, Any]) -> dict[str, Any]:
+        density: np.ndarray = np.asarray(context["density"], dtype=float)
+        return {"image": render_pgm(np.log1p(density))}
+
+
+class CordletRegistry:
+    """Offers the modules applicable to the current context (§6.2)."""
+
+    def __init__(self) -> None:
+        self._cordlets: list[Cordlet] = []
+
+    def load(self, cordlet: Cordlet) -> None:
+        self._cordlets.append(cordlet)
+
+    def load_defaults(self) -> "CordletRegistry":
+        for cordlet in (
+            LightcurveCordlet(),
+            HistogramCordlet(),
+            ProgressiveViewCordlet(),
+            DensityPlotCordlet(),
+        ):
+            self.load(cordlet)
+        return self
+
+    def offered_for(self, data_type: str) -> list[Cordlet]:
+        return [cordlet for cordlet in self._cordlets if cordlet.handles(data_type)]
+
+    def get(self, name: str) -> Optional[Cordlet]:
+        for cordlet in self._cordlets:
+            if cordlet.name == name:
+                return cordlet
+        return None

@@ -1,0 +1,13 @@
+"""Synoptic search over simulated remote archives (paper §6.4)."""
+
+from .archives import RemoteArchiveDown, SynopticArchive, SynopticRecord
+from .search import SearchOutcome, SynopticSearch, standard_archive_set
+
+__all__ = [
+    "RemoteArchiveDown",
+    "SearchOutcome",
+    "SynopticArchive",
+    "SynopticRecord",
+    "SynopticSearch",
+    "standard_archive_set",
+]

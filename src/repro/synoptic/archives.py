@@ -1,0 +1,92 @@
+"""Simulated remote synoptic archives (paper §6.4).
+
+The synoptic search crawls "several remote archives in parallel" — SOHO
+and friends — with best-effort semantics.  Each simulated archive holds
+observation records and answers time-range queries with a configurable
+latency and failure probability, which is what the crawler must tolerate.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SynopticRecord:
+    """One remote observation record."""
+
+    archive: str
+    instrument: str
+    observation_time: float
+    duration_s: float
+    wavelength: str
+    url: str
+
+
+class RemoteArchiveDown(Exception):
+    """The simulated archive refused the query."""
+
+
+class SynopticArchive:
+    """One remote archive: records, latency, and unreliability."""
+
+    def __init__(
+        self,
+        name: str,
+        latency_s: float = 0.0,
+        failure_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        self.name = name
+        self.latency_s = latency_s
+        self.failure_rate = failure_rate
+        self._records: list[SynopticRecord] = []
+        self._rng = random.Random(seed)
+        self.queries_served = 0
+        self.queries_failed = 0
+
+    def add_record(self, instrument: str, observation_time: float,
+                   duration_s: float = 60.0, wavelength: str = "visible") -> SynopticRecord:
+        record = SynopticRecord(
+            archive=self.name,
+            instrument=instrument,
+            observation_time=observation_time,
+            duration_s=duration_s,
+            wavelength=wavelength,
+            url=f"https://{self.name}.example/obs/{len(self._records):06d}",
+        )
+        self._records.append(record)
+        return record
+
+    def populate(self, instrument: str, start: float, end: float, cadence_s: float,
+                 wavelength: str = "visible") -> int:
+        """Fill the archive with a regular observation cadence."""
+        count = 0
+        t = start
+        while t < end:
+            self.add_record(instrument, t, duration_s=cadence_s, wavelength=wavelength)
+            t += cadence_s
+            count += 1
+        return count
+
+    def query(self, start: float, end: float) -> list[SynopticRecord]:
+        """Observations overlapping [start, end); may be slow or fail."""
+        if self.latency_s > 0:
+            time.sleep(self.latency_s)
+        if self._rng.random() < self.failure_rate:
+            self.queries_failed += 1
+            raise RemoteArchiveDown(f"{self.name} timed out")
+        self.queries_served += 1
+        return [
+            record
+            for record in self._records
+            if record.observation_time < end
+            and record.observation_time + record.duration_s > start
+        ]
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,107 @@
+"""The synoptic search crawler (paper §6.4).
+
+"First, online requests are issued to several remote archives in
+parallel.  Then the results are collected, grouped and displayed to the
+user ... The service is best effort (if a query to a remote archive times
+out, no results are available); query results are not cached, and there
+is no data synchronization between HEDC and the remote archives."
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .archives import RemoteArchiveDown, SynopticArchive, SynopticRecord
+
+
+@dataclass
+class SearchOutcome:
+    """Grouped results plus per-archive status."""
+
+    records_by_instrument: dict[str, list[SynopticRecord]] = field(default_factory=dict)
+    archives_answered: list[str] = field(default_factory=list)
+    archives_failed: list[str] = field(default_factory=list)
+
+    @property
+    def total_records(self) -> int:
+        return sum(len(records) for records in self.records_by_instrument.values())
+
+
+class SynopticSearch:
+    """Parallel best-effort crawler over registered remote archives."""
+
+    def __init__(self, timeout_s: float = 2.0):
+        self._archives: list[SynopticArchive] = []
+        self.timeout_s = timeout_s
+
+    def register(self, archive: SynopticArchive) -> None:
+        self._archives.append(archive)
+
+    @property
+    def n_archives(self) -> int:
+        return len(self._archives)
+
+    def search(self, start: float, end: float) -> SearchOutcome:
+        """Query every archive in parallel; collect and group by instrument.
+
+        Currently "the only search criterion is the observation time"
+        (§6.4) — the context-dependent query callers build is a time
+        window around what they are viewing.
+        """
+        outcome = SearchOutcome()
+        results: dict[str, Optional[list[SynopticRecord]]] = {}
+        lock = threading.Lock()
+
+        def query_one(archive: SynopticArchive) -> None:
+            try:
+                records = archive.query(start, end)
+            except RemoteArchiveDown:
+                records = None
+            with lock:
+                results[archive.name] = records
+
+        threads = [
+            threading.Thread(target=query_one, args=(archive,), daemon=True)
+            for archive in self._archives
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=self.timeout_s)
+        for archive in self._archives:
+            records = results.get(archive.name)
+            if records is None:
+                # Timed out or failed: best effort, no results from it.
+                outcome.archives_failed.append(archive.name)
+                continue
+            outcome.archives_answered.append(archive.name)
+            for record in records:
+                outcome.records_by_instrument.setdefault(record.instrument, []).append(record)
+        for records in outcome.records_by_instrument.values():
+            records.sort(key=lambda record: record.observation_time)
+        return outcome
+
+
+def standard_archive_set(mission_start: float = 0.0, mission_end: float = 86_400.0,
+                         seed: int = 0) -> SynopticSearch:
+    """Six popular remote archives, as in the HEDC configuration (§6.4)."""
+    search = SynopticSearch()
+    specifications = [
+        ("soho", "EIT", 600.0, "195A", 0.01),
+        ("soho", "LASCO", 900.0, "white-light", 0.01),
+        ("phoenix2", "spectrometer", 300.0, "radio", 0.02),
+        ("gong", "magnetogram", 1200.0, "6768A", 0.02),
+        ("bbso", "h-alpha", 450.0, "6563A", 0.05),
+        ("kanzelhoehe", "full-disk", 700.0, "white-light", 0.05),
+    ]
+    for index, (site, instrument, cadence, wavelength, failure_rate) in enumerate(
+        specifications
+    ):
+        archive = SynopticArchive(f"{site}-{instrument}".lower(),
+                                  failure_rate=failure_rate, seed=seed + index)
+        archive.populate(instrument, mission_start, mission_end, cadence,
+                         wavelength=wavelength)
+        search.register(archive)
+    return search

@@ -1,0 +1,6 @@
+"""Interactive catalog visualization: density/extent plots over
+multi-dimensional catalog arrays (paper §6.3)."""
+
+from .arrays import CatalogArray, Extent
+
+__all__ = ["CatalogArray", "Extent"]

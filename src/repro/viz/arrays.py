@@ -1,0 +1,143 @@
+"""Interactive catalog visualization (paper §6.3).
+
+"The basic idea is to reorganize the catalogs as a number of
+multi-dimensional arrays and allow users to specify ranges in any of the
+dimensions.  Based on these ranges the information is then presented in a
+compact and efficient manner using density (number of tuples per bin) and
+extent (location and extent of each tuple or cluster of tuples) plots."
+
+The arrays are pre-sorted on the most relevant attribute, partitioned
+across the dimensions into materialized views, and the partitions are
+wavelet-encoded so a client can decode approximations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..wavelets import EncodedStream, decode, encode
+
+
+@dataclass(frozen=True)
+class Extent:
+    """Location and extent of one tuple cluster in two dimensions."""
+
+    x_low: float
+    x_high: float
+    y_low: float
+    y_high: float
+    count: int
+
+
+class CatalogArray:
+    """Catalog tuples as a multi-dimensional numeric array.
+
+    ``dimensions`` names the attributes; rows with a NULL in any chosen
+    dimension are dropped (they cannot be placed in the array).
+    """
+
+    def __init__(self, rows: Sequence[dict], dimensions: Sequence[str],
+                 sort_by: Optional[str] = None):
+        if not dimensions:
+            raise ValueError("need at least one dimension")
+        self.dimensions = list(dimensions)
+        kept = [
+            row for row in rows
+            if all(row.get(dimension) is not None for dimension in dimensions)
+        ]
+        sort_key = sort_by or dimensions[0]
+        kept.sort(key=lambda row: row[sort_key])
+        self.data = np.array(
+            [[float(row[dimension]) for dimension in dimensions] for row in kept]
+        ) if kept else np.empty((0, len(dimensions)))
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def _axis(self, dimension: str) -> int:
+        try:
+            return self.dimensions.index(dimension)
+        except ValueError as exc:
+            raise KeyError(f"unknown dimension {dimension!r}") from exc
+
+    # -- range selection --------------------------------------------------------
+
+    def select(self, **ranges: tuple[float, float]) -> "CatalogArray":
+        """Subset by half-open ranges on any dimensions."""
+        mask = np.ones(len(self.data), dtype=bool)
+        for dimension, (low, high) in ranges.items():
+            axis = self._axis(dimension)
+            mask &= (self.data[:, axis] >= low) & (self.data[:, axis] < high)
+        selected = CatalogArray.__new__(CatalogArray)
+        selected.dimensions = list(self.dimensions)
+        selected.data = self.data[mask]
+        return selected
+
+    # -- density plots -------------------------------------------------------------
+
+    def density(self, x_dim: str, y_dim: str, bins: int = 32) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(density, x_edges, y_edges): tuples per bin over two dimensions."""
+        x_axis = self._axis(x_dim)
+        y_axis = self._axis(y_dim)
+        if len(self.data) == 0:
+            edges = np.linspace(0, 1, bins + 1)
+            return np.zeros((bins, bins)), edges, edges
+        density, x_edges, y_edges = np.histogram2d(
+            self.data[:, x_axis], self.data[:, y_axis], bins=bins
+        )
+        return density, x_edges, y_edges
+
+    def density_1d(self, dimension: str, bins: int = 64) -> tuple[np.ndarray, np.ndarray]:
+        axis = self._axis(dimension)
+        if len(self.data) == 0:
+            edges = np.linspace(0, 1, bins + 1)
+            return np.zeros(bins), edges
+        counts, edges = np.histogram(self.data[:, axis], bins=bins)
+        return counts.astype(float), edges
+
+    # -- extent plots -----------------------------------------------------------------
+
+    def extents(self, x_dim: str, y_dim: str, cluster_gap: Optional[float] = None) -> list[Extent]:
+        """Cluster tuples along the (sorted) x dimension and report each
+        cluster's bounding box."""
+        x_axis = self._axis(x_dim)
+        y_axis = self._axis(y_dim)
+        if len(self.data) == 0:
+            return []
+        order = np.argsort(self.data[:, x_axis])
+        xs = self.data[order, x_axis]
+        ys = self.data[order, y_axis]
+        if cluster_gap is None:
+            span = float(xs[-1] - xs[0]) or 1.0
+            cluster_gap = span / 20.0
+        extents: list[Extent] = []
+        start = 0
+        for index in range(1, len(xs) + 1):
+            if index == len(xs) or xs[index] - xs[index - 1] > cluster_gap:
+                cluster_x = xs[start:index]
+                cluster_y = ys[start:index]
+                extents.append(
+                    Extent(
+                        float(cluster_x.min()), float(cluster_x.max()),
+                        float(cluster_y.min()), float(cluster_y.max()),
+                        int(index - start),
+                    )
+                )
+                start = index
+        return extents
+
+    # -- wavelet-encoded materialized views ----------------------------------------------
+
+    def encode_density(self, dimension: str, bins: int = 256,
+                       quantizer_step: float = 0.5) -> EncodedStream:
+        """A 1-D density view encoded for progressive client download."""
+        counts, _edges = self.density_1d(dimension, bins=bins)
+        return encode(counts, quantizer_step=quantizer_step)
+
+    @staticmethod
+    def decode_density(payload: bytes) -> np.ndarray:
+        """Client-side decode of (a prefix of) an encoded density view."""
+        return decode(payload)

@@ -1,0 +1,27 @@
+"""Wavelet compression substrate for approximated analysis (paper §6.3)."""
+
+from .codec import EncodedStream, decode, encode, reconstruction_error
+from .transform import (
+    SUPPORTED_FILTERS,
+    WaveletPyramid,
+    forward,
+    forward2d,
+    inverse,
+    inverse2d,
+)
+from .views import Partition, RangePartitionedView
+
+__all__ = [
+    "EncodedStream",
+    "Partition",
+    "RangePartitionedView",
+    "SUPPORTED_FILTERS",
+    "WaveletPyramid",
+    "decode",
+    "encode",
+    "forward",
+    "forward2d",
+    "inverse",
+    "inverse2d",
+    "reconstruction_error",
+]

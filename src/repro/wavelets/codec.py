@@ -1,0 +1,151 @@
+"""Progressive wavelet codec.
+
+Encodes a signal as a byte stream ordered coarsest-first so a client can
+decode a usable approximation from any prefix — the StreamCorder's
+progressive analysis and visualization (paper §6.3) downloads coefficient
+levels until the reconstruction is good enough for the analysis at hand.
+
+The stream layout is::
+
+    magic | filter | n_levels | lengths | quantizer step
+    | approx coefficients | detail level (coarsest) | ... | (finest)
+
+Coefficients are uniform-quantized to int32 and zlib-compressed per
+section, so truncating at a section boundary always yields a decodable
+stream.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .transform import WaveletPyramid, forward, inverse
+
+_MAGIC = b"WVC1"
+_FILTER_CODES = {"haar": 0, "cdf22": 1}
+_FILTER_NAMES = {code: name for name, code in _FILTER_CODES.items()}
+
+
+@dataclass(frozen=True)
+class EncodedStream:
+    """A fully encoded signal plus section boundaries for truncation."""
+
+    payload: bytes
+    section_offsets: tuple[int, ...]  # offset of each coefficient section
+
+    def prefix(self, levels: int) -> bytes:
+        """Byte prefix carrying the approx section plus ``levels`` coarsest
+        detail sections."""
+        # Sections: [approx, detail_coarsest, ..., detail_finest]
+        index = min(1 + levels, len(self.section_offsets) - 1)
+        return self.payload[: self.section_offsets[index]]
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self.payload)
+
+
+def _quantize(values: np.ndarray, step: float) -> np.ndarray:
+    return np.round(values / step).astype(np.int32)
+
+
+def _dequantize(values: np.ndarray, step: float) -> np.ndarray:
+    return values.astype(np.float64) * step
+
+
+def _pack_section(values: np.ndarray, step: float) -> bytes:
+    quantized = _quantize(values, step)
+    compressed = zlib.compress(quantized.tobytes(), level=6)
+    return struct.pack("<II", len(values), len(compressed)) + compressed
+
+
+def _unpack_section(payload: bytes, offset: int, step: float) -> tuple[Optional[np.ndarray], int]:
+    if offset + 8 > len(payload):
+        return None, offset
+    count, compressed_length = struct.unpack_from("<II", payload, offset)
+    offset += 8
+    if offset + compressed_length > len(payload):
+        return None, offset
+    raw = zlib.decompress(payload[offset:offset + compressed_length])
+    values = np.frombuffer(raw, dtype=np.int32)
+    if len(values) != count:
+        return None, offset
+    return _dequantize(values, step), offset + compressed_length
+
+
+def encode(
+    signal: np.ndarray,
+    levels: Optional[int] = None,
+    filter_name: str = "cdf22",
+    quantizer_step: float = 0.5,
+) -> EncodedStream:
+    """Encode ``signal`` into a progressive stream."""
+    if quantizer_step <= 0:
+        raise ValueError("quantizer step must be positive")
+    pyramid = forward(signal, levels=levels, filter_name=filter_name)
+    header = _MAGIC + struct.pack(
+        "<BBId",
+        _FILTER_CODES[filter_name],
+        pyramid.levels,
+        len(signal),
+        quantizer_step,
+    )
+    header += struct.pack(f"<{pyramid.levels}I", *pyramid.lengths)
+    chunks = [header]
+    offsets = [len(header)]
+    chunks.append(_pack_section(pyramid.approx, quantizer_step))
+    offsets.append(offsets[-1] + len(chunks[-1]))
+    # Detail sections from coarsest to finest for progressive decode.
+    for detail in reversed(pyramid.details):
+        chunks.append(_pack_section(detail, quantizer_step))
+        offsets.append(offsets[-1] + len(chunks[-1]))
+    return EncodedStream(b"".join(chunks), tuple(offsets))
+
+
+def decode(payload: bytes) -> np.ndarray:
+    """Decode any valid prefix of an encoded stream.
+
+    Missing (truncated) fine detail levels are treated as zero, so a
+    prefix yields the corresponding smoothed approximation at full length.
+    """
+    if payload[:4] != _MAGIC:
+        raise ValueError("not a wavelet stream")
+    filter_code, n_levels, original_length, step = struct.unpack_from("<BBId", payload, 4)
+    offset = 4 + struct.calcsize("<BBId")
+    lengths = list(struct.unpack_from(f"<{n_levels}I", payload, offset))
+    offset += 4 * n_levels
+    filter_name = _FILTER_NAMES[filter_code]
+    approx, offset = _unpack_section(payload, offset, step)
+    if approx is None:
+        raise ValueError("stream truncated before the approximation section")
+    # Read as many detail sections (coarsest-first) as the prefix contains.
+    details_coarse_first: list[np.ndarray] = []
+    for _level in range(n_levels):
+        detail, new_offset = _unpack_section(payload, offset, step)
+        if detail is None:
+            break
+        details_coarse_first.append(detail)
+        offset = new_offset
+    # Reassemble finest-first detail list, zero-filling missing fine levels.
+    details: list[np.ndarray] = []
+    for level in range(n_levels):  # level 0 = finest
+        coarse_index = n_levels - 1 - level
+        if coarse_index < len(details_coarse_first):
+            details.append(details_coarse_first[coarse_index])
+        else:
+            half = (lengths[level] + 1) // 2
+            details.append(np.zeros(half))
+    pyramid = WaveletPyramid(approx, details, lengths, filter_name)
+    return inverse(pyramid, levels_used=len(details_coarse_first))
+
+
+def reconstruction_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Normalised RMS error between original and reconstruction."""
+    original = np.asarray(original, dtype=np.float64)
+    scale = float(np.sqrt(np.mean(original ** 2))) or 1.0
+    return float(np.sqrt(np.mean((original - reconstructed) ** 2))) / scale

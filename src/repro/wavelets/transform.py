@@ -1,0 +1,216 @@
+"""Lifting-scheme wavelet transforms.
+
+Two classic integer-friendly filters are implemented via lifting:
+
+* Haar — trivially short, used for count data (density plots);
+* CDF(2,2) (the 5/3 LeGall filter) — smoother reconstructions, used for
+  lightcurves and spectrogram rows.
+
+Both handle arbitrary (not just power-of-two) lengths by odd-sample
+duplication at the boundary and support multi-level decomposition.  The
+inverse reproduces the input to floating-point round-off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+SUPPORTED_FILTERS = ("haar", "cdf22")
+
+
+def _split(signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split into even and odd samples, padding odd-length signals."""
+    if len(signal) % 2:
+        signal = np.concatenate([signal, signal[-1:]])
+    return signal[0::2].copy(), signal[1::2].copy()
+
+
+def _forward_haar(signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    even, odd = _split(signal.astype(np.float64))
+    detail = odd - even
+    approx = even + detail / 2.0
+    return approx, detail
+
+
+def _inverse_haar(approx: np.ndarray, detail: np.ndarray, length: int) -> np.ndarray:
+    even = approx - detail / 2.0
+    odd = detail + even
+    out = np.empty(len(even) * 2, dtype=np.float64)
+    out[0::2] = even
+    out[1::2] = odd
+    return out[:length]
+
+
+def _forward_cdf22(signal: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    even, odd = _split(signal.astype(np.float64))
+    # Predict: odd -= (left even + right even) / 2, symmetric boundary.
+    right = np.concatenate([even[1:], even[-1:]])
+    detail = odd - (even + right) / 2.0
+    # Update: even += (left detail + own detail) / 4.
+    left_detail = np.concatenate([detail[:1], detail[:-1]])
+    approx = even + (left_detail + detail) / 4.0
+    return approx, detail
+
+
+def _inverse_cdf22(approx: np.ndarray, detail: np.ndarray, length: int) -> np.ndarray:
+    left_detail = np.concatenate([detail[:1], detail[:-1]])
+    even = approx - (left_detail + detail) / 4.0
+    right = np.concatenate([even[1:], even[-1:]])
+    odd = detail + (even + right) / 2.0
+    out = np.empty(len(even) * 2, dtype=np.float64)
+    out[0::2] = even
+    out[1::2] = odd
+    return out[:length]
+
+
+_FORWARD = {"haar": _forward_haar, "cdf22": _forward_cdf22}
+_INVERSE = {"haar": _inverse_haar, "cdf22": _inverse_cdf22}
+
+
+class WaveletPyramid:
+    """A multi-level 1-D decomposition: coarsest approximation + details.
+
+    ``details[0]`` is the finest level (needed last in progressive
+    reconstruction), ``details[-1]`` the coarsest.
+    """
+
+    def __init__(
+        self,
+        approx: np.ndarray,
+        details: list[np.ndarray],
+        lengths: list[int],
+        filter_name: str,
+    ):
+        self.approx = approx
+        self.details = details
+        self.lengths = lengths  # original length at each level, finest first
+        self.filter_name = filter_name
+
+    @property
+    def levels(self) -> int:
+        return len(self.details)
+
+    def coefficient_count(self, levels_used: Optional[int] = None) -> int:
+        """Coefficients needed to reconstruct with ``levels_used`` detail levels."""
+        used = self.levels if levels_used is None else levels_used
+        count = len(self.approx)
+        for detail in self.details[self.levels - used:]:
+            count += len(detail)
+        return count
+
+
+def forward(signal: np.ndarray, levels: Optional[int] = None, filter_name: str = "cdf22") -> WaveletPyramid:
+    """Decompose ``signal`` into a :class:`WaveletPyramid`."""
+    if filter_name not in SUPPORTED_FILTERS:
+        raise ValueError(f"unsupported filter {filter_name!r}")
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1:
+        raise ValueError("forward() expects a 1-D signal")
+    if len(signal) == 0:
+        raise ValueError("cannot transform an empty signal")
+    max_levels = max(1, int(np.floor(np.log2(max(len(signal), 2)))))
+    n_levels = max_levels if levels is None else min(levels, max_levels)
+    details: list[np.ndarray] = []
+    lengths: list[int] = []
+    current = signal
+    step = _FORWARD[filter_name]
+    for _level in range(n_levels):
+        if len(current) < 2:
+            break
+        lengths.append(len(current))
+        current, detail = step(current)
+        details.append(detail)
+    return WaveletPyramid(current, details, lengths, filter_name)
+
+
+def inverse(pyramid: WaveletPyramid, levels_used: Optional[int] = None) -> np.ndarray:
+    """Reconstruct, optionally using only the ``levels_used`` coarsest
+    detail levels (progressive / approximated reconstruction).
+
+    With fewer levels the output has the *original length* but smoothed
+    content — this is the approximated view fed to analysis routines
+    (paper §6.3).
+    """
+    used = pyramid.levels if levels_used is None else max(0, min(levels_used, pyramid.levels))
+    step = _INVERSE[pyramid.filter_name]
+    current = pyramid.approx.copy()
+    for level in range(pyramid.levels - 1, -1, -1):
+        detail = pyramid.details[level]
+        # Drop (zero) the finest `levels - used` detail levels.
+        if level < pyramid.levels - used:
+            detail = np.zeros_like(detail)
+        current = step(current, detail, pyramid.lengths[level])
+    return current
+
+
+def forward2d(image: np.ndarray, levels: int = 1, filter_name: str = "cdf22") -> list:
+    """Separable 2-D decomposition.
+
+    Returns ``[LL, (LH, HL, HH) x levels]`` with the coarsest LL first and
+    subband tuples ordered coarsest-to-finest.
+    """
+    if image.ndim != 2:
+        raise ValueError("forward2d() expects a 2-D image")
+    current = np.asarray(image, dtype=np.float64)
+    step = _FORWARD[filter_name]
+    subbands = []
+    shapes = []
+    for _level in range(levels):
+        if min(current.shape) < 2:
+            break
+        shapes.append(current.shape)
+        # Rows.
+        approx_rows, detail_rows = [], []
+        for row in current:
+            approx, detail = step(row)
+            approx_rows.append(approx)
+            detail_rows.append(detail)
+        low = np.array(approx_rows)
+        high = np.array(detail_rows)
+        # Columns.
+        def column_pass(block: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            approx_cols, detail_cols = [], []
+            for column in block.T:
+                approx, detail = step(column)
+                approx_cols.append(approx)
+                detail_cols.append(detail)
+            return np.array(approx_cols).T, np.array(detail_cols).T
+
+        ll, lh = column_pass(low)
+        hl, hh = column_pass(high)
+        subbands.append((lh, hl, hh))
+        current = ll
+    return [current, shapes, subbands, filter_name]
+
+
+def inverse2d(decomposition: list, levels_used: Optional[int] = None) -> np.ndarray:
+    """Invert :func:`forward2d`, optionally dropping fine subbands."""
+    ll, shapes, subbands, filter_name = decomposition
+    total = len(subbands)
+    used = total if levels_used is None else max(0, min(levels_used, total))
+    step = _INVERSE[filter_name]
+    current = ll.copy()
+    for level in range(total - 1, -1, -1):
+        lh, hl, hh = subbands[level]
+        if level < total - used:
+            lh = np.zeros_like(lh)
+            hl = np.zeros_like(hl)
+            hh = np.zeros_like(hh)
+        rows, cols = shapes[level]
+        half_cols = lh.shape[1]
+
+        def column_unpass(approx_block, detail_block, out_rows):
+            columns = []
+            for approx, detail in zip(approx_block.T, detail_block.T):
+                columns.append(step(approx, detail, out_rows))
+            return np.array(columns).T
+
+        low = column_unpass(current, lh, rows)
+        high = column_unpass(hl, hh, rows)
+        out = np.empty((rows, cols), dtype=np.float64)
+        for row_index in range(rows):
+            out[row_index] = step(low[row_index], high[row_index], cols)
+        current = out
+    return current

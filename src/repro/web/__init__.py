@@ -1,0 +1,23 @@
+"""Presentation tier: templates, servlets, web server and thin client
+(paper §6.1)."""
+
+from .http import HttpRequest, HttpResponse, Router
+from .pages import build_registry
+from .server import BrowseResult, ThinClient, WebServer
+from .servlets import SESSION_COOKIE, Servlets
+from .templates import Template, TemplateError, TemplateRegistry
+
+__all__ = [
+    "BrowseResult",
+    "HttpRequest",
+    "HttpResponse",
+    "Router",
+    "SESSION_COOKIE",
+    "Servlets",
+    "Template",
+    "TemplateError",
+    "TemplateRegistry",
+    "ThinClient",
+    "WebServer",
+    "build_registry",
+]

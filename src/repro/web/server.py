@@ -1,0 +1,118 @@
+"""The web server and thin client.
+
+:class:`WebServer` wires the servlets into a router (the Apache/Tomcat of
+paper §2.3); :class:`ThinClient` drives the typical browse sequence of
+§7.2 — "first sends a query to select an HLE, then sends another query to
+retrieve all its related analyses, and finally sends requests for all
+images related to these analyses" — caching static images client-side
+after the first download.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .http import HttpRequest, HttpResponse, Router
+from .servlets import SESSION_COOKIE, Servlets
+
+
+class WebServer:
+    """One web-server node hosting the HEDC servlets over one DM."""
+
+    def __init__(self, dm, frontend=None, name: str = "web0"):
+        self.name = name
+        self.dm = dm
+        self.servlets = Servlets(dm, frontend=frontend)
+        self.router = Router()
+        self.router.add("/static", self.servlets.static)
+        self.router.add("/hedc/login", self.servlets.login)
+        self.router.add("/hedc/catalogs", self.servlets.catalogs)
+        self.router.add("/hedc/catalog", self.servlets.catalog)
+        self.router.add("/hedc/hle", self.servlets.hle)
+        self.router.add("/hedc/ana", self.servlets.ana)
+        self.router.add("/hedc/image", self.servlets.image)
+        self.router.add("/hedc/download", self.servlets.download)
+        self.router.add("/hedc/search", self.servlets.search)
+        self.router.add("/hedc/analyze", self.servlets.analyze)
+        self.requests_served = 0
+        self.bytes_sent = 0
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        try:
+            response = self.router.dispatch(request)
+        except Exception as exc:
+            response = HttpResponse.error(500, f"{type(exc).__name__}: {exc}")
+        self.requests_served += 1
+        self.bytes_sent += response.size
+        return response
+
+
+_IMG_RE = re.compile(r'(?:src|href)="(/hedc/image[^"]+)"')
+
+
+@dataclass
+class BrowseResult:
+    """What one full browse interaction transferred."""
+
+    hle_id: int
+    page_bytes: int = 0
+    image_bytes: int = 0
+    n_images: int = 0
+    n_requests: int = 0
+    elapsed_s: float = 0.0
+
+
+class ThinClient:
+    """A browser-like client with persistent cookies and a static cache."""
+
+    def __init__(self, server: WebServer, client_ip: str = "127.0.0.1"):
+        self.server = server
+        self.client_ip = client_ip
+        self.cookies: dict[str, str] = {}
+        self._static_cache: dict[str, bytes] = {}
+        self.requests_sent = 0
+
+    def get(self, url: str) -> HttpResponse:
+        if url.startswith("/static"):
+            if url in self._static_cache:
+                return HttpResponse.image(self._static_cache[url])
+            response = self._send(HttpRequest.get(url, self.cookies, self.client_ip))
+            if response.status == 200:
+                self._static_cache[url] = response.body
+            return response
+        return self._send(HttpRequest.get(url, self.cookies, self.client_ip))
+
+    def post(self, url: str, params: dict[str, str]) -> HttpResponse:
+        return self._send(HttpRequest.post(url, params, self.cookies, self.client_ip))
+
+    def _send(self, request: HttpRequest) -> HttpResponse:
+        self.requests_sent += 1
+        response = self.server.handle(request)
+        self.cookies.update(response.set_cookies)
+        return response
+
+    def login(self, login: str, password: str) -> bool:
+        response = self.post("/hedc/login", {"login": login, "password": password})
+        return response.status == 302 and SESSION_COOKIE in self.cookies
+
+    def browse_hle(self, hle_id: int) -> BrowseResult:
+        """The §7.2 sequence: HLE page, then every embedded dynamic image."""
+        started = time.perf_counter()
+        result = BrowseResult(hle_id)
+        page = self.get(f"/hedc/hle?id={hle_id}")
+        result.page_bytes = page.size
+        result.n_requests += 1
+        if page.status != 200:
+            result.elapsed_s = time.perf_counter() - started
+            return result
+        for image_url in _IMG_RE.findall(page.text):
+            image = self.get(image_url.replace("&amp;", "&"))
+            result.n_requests += 1
+            if image.status == 200:
+                result.image_bytes += image.size
+                result.n_images += 1
+        result.elapsed_s = time.perf_counter() - started
+        return result

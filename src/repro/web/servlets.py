@@ -1,0 +1,289 @@
+"""The web servlets (paper §6.1).
+
+Each servlet builds one response page from templates and DM queries.  The
+HLE display page issues the paper's seven DM queries — tuple fetch, its
+analyses, two count queries, a similar-event range query, file-reference
+resolution and a recent-events range query (two of which sweep an ordered
+index) — and wraps everything in header/footer templates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..analysis import render_pgm
+from ..metadb import Aggregate, And, Between, Comparison, Select
+from ..security import AuthError, User, scoped_where
+from .http import HttpRequest, HttpResponse
+from .pages import build_registry
+
+SESSION_COOKIE = "hedc_session"
+
+
+def _logo() -> bytes:
+    gradient = np.outer(np.arange(16), np.arange(32)).astype(float)
+    return render_pgm(gradient)
+
+
+class Servlets:
+    """All servlet handlers, sharing the DM and template registry."""
+
+    def __init__(self, dm, frontend=None):
+        self.dm = dm
+        self.frontend = frontend
+        self.registry = build_registry()
+        self._static = {"logo.pgm": _logo(), "nav.pgm": _logo()}
+
+    # -- session helpers -----------------------------------------------------
+
+    def _user_for(self, request: HttpRequest) -> Optional[User]:
+        cookie = request.cookies.get(SESSION_COOKIE)
+        if cookie is None:
+            return None
+        session = self.dm.sessions.by_cookie(cookie)
+        if session is None:
+            return None
+        session.touch()
+        return session.user
+
+    def _base_context(self, request: HttpRequest, title: str) -> dict[str, Any]:
+        return {"title": title, "user": self._user_for(request)}
+
+    # -- static ------------------------------------------------------------------
+
+    def static(self, request: HttpRequest) -> HttpResponse:
+        name = request.path.rsplit("/", 1)[-1]
+        payload = self._static.get(name)
+        if payload is None:
+            return HttpResponse.error(404, f"no static file {name}")
+        return HttpResponse.image(payload)
+
+    # -- login ---------------------------------------------------------------------
+
+    def login(self, request: HttpRequest) -> HttpResponse:
+        context = self._base_context(request, "login")
+        context["error"] = ""
+        if request.method == "POST":
+            try:
+                user = self.dm.authenticate(
+                    request.params.get("login", ""), request.params.get("password", "")
+                )
+            except AuthError as exc:
+                context["error"] = str(exc)
+                return HttpResponse.html(self.registry.render("login_page", context))
+            session = self.dm.open_session(user, "hle", client_ip=request.client_ip)
+            response = HttpResponse.redirect("/hedc/catalogs")
+            response.set_cookies[SESSION_COOKIE] = session.cookie
+            return response
+        return HttpResponse.html(self.registry.render("login_page", context))
+
+    # -- catalogs ----------------------------------------------------------------------
+
+    def catalogs(self, request: HttpRequest) -> HttpResponse:
+        user = self._user_for(request)
+        context = self._base_context(request, "catalogs")
+        context["catalogs"] = self.dm.semantic.list_catalogs(user)
+        return HttpResponse.html(self.registry.render("catalog_list", context))
+
+    def catalog(self, request: HttpRequest) -> HttpResponse:
+        user = self._user_for(request)
+        try:
+            catalog_id = int(request.params.get("id", ""))
+        except ValueError:
+            return HttpResponse.error(400, "missing catalog id")
+        catalog = self.dm.semantic.get_catalog(user, catalog_id)
+        hles = self.dm.semantic.catalog_hles(user, catalog_id)
+        context = self._base_context(request, f"catalog {catalog['name']}")
+        context.update({"catalog": catalog, "hles": hles})
+        return HttpResponse.html(self.registry.render("catalog_page", context))
+
+    # -- HLE page: the seven-query response of §7.2 ---------------------------------------
+
+    def hle(self, request: HttpRequest) -> HttpResponse:
+        user = self._user_for(request)
+        try:
+            hle_id = int(request.params.get("id", ""))
+        except ValueError:
+            return HttpResponse.error(400, "missing hle id")
+        io = self.dm.io
+        # Query 1: the HLE tuple (PK probe).
+        hle = self.dm.semantic.get_hle(user, hle_id)
+        # Query 2: its analyses (secondary index probe).
+        analyses = self.dm.semantic.analyses_for_hle(user, hle_id)
+        # Query 3 (count): total committed analyses.
+        n_analyses = io.execute(
+            Select("ana", where=Comparison("hle_id", "=", hle_id),
+                   aggregates=[Aggregate("count", "*", "n")])
+        )[0]["n"]
+        # Query 4 (count): catalog memberships.
+        n_catalogs = io.execute(
+            Select("catalog_members", where=Comparison("hle_id", "=", hle_id),
+                   aggregates=[Aggregate("count", "*", "n")])
+        )[0]["n"]
+        # Query 5 (index sweep): similar events by peak rate.
+        rate = hle.get("peak_rate") or 0.0
+        similar = io.execute(
+            Select("hle",
+                   where=scoped_where(user, Between("peak_rate", rate * 0.5, rate * 1.5)),
+                   order_by=[("peak_rate", "desc")], limit=40)
+        )
+        # Query 6: file references via name mapping (indexed).
+        names = io.names.resolve_files(hle["item_id"])
+        # Query 7 (index sweep): neighbouring events in time.
+        io.execute(
+            Select("hle",
+                   where=scoped_where(
+                       user,
+                       Between("start_time", hle["start_time"] - 3600,
+                               hle["start_time"] + 3600)),
+                   order_by=[("start_time", "asc")], limit=40)
+        )
+        context = self._base_context(request, hle["title"] or f"HLE {hle_id}")
+        context.update(
+            {
+                "hle": hle,
+                "n_analyses": n_analyses,
+                "n_catalogs": n_catalogs,
+                "n_similar": len(similar),
+                "data_files": [
+                    {"item_id": hle["item_id"], "path": name.path} for name in names
+                ],
+            }
+        )
+        parts = [self.registry.render("hle_header", context)]
+        for ana in analyses:
+            ana_context = dict(context)
+            ana_context["ana"] = ana
+            ana_context["ana_images"] = [
+                f"/hedc/image?item=ana:{ana['ana_id']}&index={index}"
+                for index in range(ana.get("n_images") or 0)
+            ]
+            parts.append(self.registry.render("analysis", ana_context))
+        parts.append(self.registry.render("footer", context))
+        return HttpResponse.html("".join(parts))
+
+    # -- analysis detail -------------------------------------------------------------------
+
+    def ana(self, request: HttpRequest) -> HttpResponse:
+        user = self._user_for(request)
+        try:
+            ana_id = int(request.params.get("id", ""))
+        except ValueError:
+            return HttpResponse.error(400, "missing ana id")
+        ana = self.dm.semantic.get_analysis(user, ana_id)
+        context = self._base_context(request, f"analysis {ana_id}")
+        context["ana"] = ana
+        context["images"] = [
+            f"/hedc/image?item=ana:{ana_id}&index={index}"
+            for index in range(ana.get("n_images") or 0)
+        ]
+        return HttpResponse.html(self.registry.render("ana_page", context))
+
+    # -- dynamic images ----------------------------------------------------------------------
+
+    def image(self, request: HttpRequest) -> HttpResponse:
+        user = self._user_for(request)
+        item_id = request.params.get("item", "")
+        try:
+            index = int(request.params.get("index", "0"))
+        except ValueError:
+            index = 0
+        if item_id.startswith("ana:"):
+            # Visibility check through the semantic layer.
+            self.dm.semantic.get_analysis(user, int(item_id.split(":", 1)[1]))
+        names = self.dm.io.names.resolve_files(item_id, role="image")
+        if index >= len(names):
+            return HttpResponse.error(404, f"no image {index} for {item_id}")
+        payload = self.dm.io.read_item(names[index])
+        return HttpResponse.image(payload)
+
+    # -- download -------------------------------------------------------------------------------
+
+    def download(self, request: HttpRequest) -> HttpResponse:
+        user = self._user_for(request)
+        if user is None or not user.has_right("download"):
+            return HttpResponse.error(403, "download requires an account with the right")
+        item_id = request.params.get("item", "")
+        names = self.dm.io.names.resolve_files(item_id)
+        wanted = request.params.get("path")
+        for name in names:
+            if wanted is None or name.path == wanted:
+                payload = self.dm.io.read_item(name)
+                return HttpResponse(
+                    body=payload, content_type="application/octet-stream"
+                )
+        return HttpResponse.error(404, f"no file for {item_id}")
+
+    # -- search: visual params, predefined queries, or user SQL ----------------------------------
+
+    def search(self, request: HttpRequest) -> HttpResponse:
+        user = self._user_for(request)
+        context = self._base_context(request, "search")
+        context["sql_allowed"] = user is not None and user.has_right("analyze")
+        results: list[dict] = []
+        sql = request.params.get("sql")
+        preset = request.params.get("preset")
+        if preset:
+            # A predefined query (§4.1) — visibility applies inside.
+            results = self.dm.queries.run(preset, user)
+        elif sql and context["sql_allowed"]:
+            results = self._run_user_sql(user, sql)
+        else:
+            conjuncts = []
+            kind = request.params.get("kind")
+            if kind:
+                conjuncts.append(Comparison("kind", "=", kind))
+            min_rate = request.params.get("min_rate")
+            if min_rate:
+                conjuncts.append(Comparison("peak_rate", ">=", float(min_rate)))
+            where = And(conjuncts) if conjuncts else None
+            results = self.dm.semantic.find_hles(
+                user, where=where, order_by=[("peak_rate", "desc")], limit=100
+            )
+        context["results"] = results
+        return HttpResponse.html(self.registry.render("search_page", context))
+
+    def _run_user_sql(self, user: User, sql: str) -> list[dict]:
+        """Advanced users may run their own SQL (paper §1) — restricted to
+        SELECT over the domain tables, with visibility enforced."""
+        from ..metadb import parse as parse_sql
+
+        statement = parse_sql(sql)
+        if not isinstance(statement, Select):
+            raise AuthError("only SELECT statements are allowed")
+        if statement.table not in ("hle", "ana", "catalogs"):
+            raise AuthError(f"SQL over table {statement.table!r} is not allowed")
+        statement.where = scoped_where(user, statement.where)
+        return self.dm.io.execute(statement)
+
+    # -- analyze (submit a PL request) ------------------------------------------------------------
+
+    def analyze(self, request: HttpRequest) -> HttpResponse:
+        user = self._user_for(request)
+        if user is None or not user.has_right("analyze"):
+            return HttpResponse.error(403, "analysis requires an account with the right")
+        if self.frontend is None:
+            return HttpResponse.error(503, "no processing logic attached")
+        try:
+            hle_id = int(request.params.get("hle", ""))
+        except ValueError:
+            return HttpResponse.error(400, "missing hle id")
+        algorithm = request.params.get("algorithm", "lightcurve")
+        from ..pl import AnalysisRequest
+
+        parameters: dict[str, Any] = {}
+        for key in ("n_pixels", "n_bins", "n_energy_bins"):
+            if key in request.params:
+                parameters[key] = int(request.params[key])
+        for key in ("bin_width_s", "time_bin_s", "extent_arcsec"):
+            if key in request.params:
+                parameters[key] = float(request.params[key])
+        if "attribute" in request.params:
+            parameters["attribute"] = request.params["attribute"]
+        analysis_request = AnalysisRequest(user, hle_id, algorithm, parameters)
+        self.frontend.run(analysis_request)
+        if analysis_request.ana_id is None:
+            return HttpResponse.error(500, f"analysis failed: {analysis_request.error}")
+        return HttpResponse.redirect(f"/hedc/ana?id={analysis_request.ana_id}")

@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+The expensive fixtures (telemetry, a populated repository) are session
+scoped and read-only; tests that mutate state build their own instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Hedc
+from repro.dm import DataManager
+from repro.metadb import Database
+from repro.rhessi import TelemetryGenerator, standard_day_plan
+from repro.schema import install_all
+
+
+@pytest.fixture()
+def db() -> Database:
+    """A fresh in-memory database with the full HEDC schema."""
+    database = Database()
+    install_all(database)
+    return database
+
+
+@pytest.fixture()
+def dm(tmp_path) -> DataManager:
+    """A fresh standalone DM node."""
+    return DataManager.standalone(tmp_path / "dm")
+
+
+@pytest.fixture(scope="session")
+def photons_small():
+    """A small deterministic photon list (one flare, ~1 minute)."""
+    plan = standard_day_plan(duration=120.0, seed=21, n_flares=1, n_bursts=0, n_saa=0)
+    return TelemetryGenerator(plan, seed=21).generate()
+
+
+@pytest.fixture(scope="session")
+def photons_mixed():
+    """A richer stream: flares, a burst and an SAA transit (~10 min)."""
+    plan = standard_day_plan(duration=600.0, seed=5, n_flares=2, n_bursts=1, n_saa=1)
+    return TelemetryGenerator(plan, seed=5).generate()
+
+
+@pytest.fixture(scope="session")
+def populated_hedc(tmp_path_factory):
+    """A loaded repository shared by read-only integration tests."""
+    root = tmp_path_factory.mktemp("hedc-shared")
+    hedc = Hedc.create(root)
+    hedc.ingest_observation(duration_s=420.0, seed=13, unit_target_photons=150_000)
+    hedc.register_user("reader", "reader-pw", group="scientist")
+    return hedc

@@ -1,0 +1,219 @@
+"""Tests for the analysis kernels and products."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AnalysisProduct,
+    CostModel,
+    approximation_speedup,
+    back_projection,
+    clean_iterations,
+    histogram,
+    lightcurve,
+    parse_pgm,
+    predict,
+    render_pgm,
+    render_series_pgm,
+    spectrogram,
+)
+from repro.rhessi import PhotonList, SolarFlare, TelemetryGenerator
+from repro.rhessi.telemetry import ObservationPlan
+
+
+@pytest.fixture(scope="module")
+def flare_photons():
+    plan = ObservationPlan(0.0, 240.0, background_rate=40.0)
+    plan.add(SolarFlare(start=40.0, duration=120.0, goes_class="M",
+                        position_arcsec=(250.0, -150.0)))
+    return TelemetryGenerator(plan, seed=6).generate()
+
+
+class TestLightcurve:
+    def test_peak_near_flare_peak(self, flare_photons):
+        curve = lightcurve(flare_photons, bin_width_s=2.0)
+        peak_time, peak_rate = curve.peak()
+        assert 50.0 < peak_time < 70.0  # rise is 15% of 120 s after t=40
+        assert peak_rate > 500.0
+
+    def test_band_rates_sum_to_total(self, flare_photons):
+        curve = lightcurve(flare_photons, bin_width_s=4.0)
+        assert np.allclose(curve.total_rate(), curve.rates.sum(axis=0))
+
+    def test_explicit_window(self, flare_photons):
+        curve = lightcurve(flare_photons, bin_width_s=4.0, start=0.0, end=40.0)
+        assert curve.n_bins == 10
+
+    def test_band_selection(self, flare_photons):
+        curve = lightcurve(flare_photons, bands=[(3.0, 25.0), (25.0, 300.0)])
+        assert curve.rates.shape[0] == 2
+        assert curve.band_series(0).sum() > curve.band_series(1).sum()  # soft dominates
+
+    def test_invalid_parameters(self, flare_photons):
+        with pytest.raises(ValueError):
+            lightcurve(flare_photons, bin_width_s=0)
+        with pytest.raises(ValueError):
+            lightcurve(flare_photons, start=10.0, end=5.0)
+
+
+class TestImaging:
+    def test_recovers_source_position(self, flare_photons):
+        window = flare_photons.select_time(40.0, 160.0).select_energy(6.0, 100.0)
+        image = back_projection(window, n_pixels=48, source_position=(250.0, -150.0))
+        x, y = image.peak_position()
+        step = image.extent_arcsec / image.n_pixels  # one pixel tolerance x2
+        assert abs(x - 250.0) < 2 * step
+        assert abs(y + 150.0) < 2 * step
+
+    def test_photon_count_accounted(self, flare_photons):
+        window = flare_photons.select_time(40.0, 80.0)
+        image = back_projection(window, n_pixels=16)
+        assert image.n_photons_used == len(window)
+
+    def test_detector_subset(self, flare_photons):
+        window = flare_photons.select_time(40.0, 60.0)
+        image = back_projection(window, n_pixels=16, detectors=[1, 2, 3])
+        assert image.n_photons_used == sum(
+            len(window.select_detector(index)) for index in (1, 2, 3)
+        )
+
+    def test_empty_input_gives_zero_image(self):
+        empty = PhotonList(np.array([]), np.array([]), np.array([]))
+        image = back_projection(empty, n_pixels=8)
+        assert image.n_photons_used == 0
+        assert np.all(image.image == 0)
+
+    def test_clean_sharpens_peak(self, flare_photons):
+        window = flare_photons.select_time(40.0, 120.0).select_energy(6.0, 100.0)
+        dirty = back_projection(window, n_pixels=32, source_position=(250.0, -150.0))
+        cleaned = clean_iterations(dirty, n_iterations=24)
+        assert cleaned.dynamic_range() > dirty.dynamic_range()
+
+    def test_tiny_grid_rejected(self, flare_photons):
+        with pytest.raises(ValueError):
+            back_projection(flare_photons, n_pixels=2)
+
+
+class TestSpectrogram:
+    def test_counts_conserved(self, flare_photons):
+        result = spectrogram(flare_photons, time_bin_s=4.0, n_energy_bins=24)
+        in_range = flare_photons.select_energy(3.0, 20_000.0)
+        assert result.counts.sum() == pytest.approx(len(in_range), rel=0.01)
+
+    def test_normalized_in_unit_range(self, flare_photons):
+        result = spectrogram(flare_photons)
+        normalized = result.normalized()
+        assert 0.0 <= normalized.min() and normalized.max() == pytest.approx(1.0)
+
+    def test_band_profile_peaks_with_flare(self, flare_photons):
+        result = spectrogram(flare_photons, time_bin_s=4.0)
+        profile = result.band_profile(3.0, 50.0)
+        peak_bin = int(np.argmax(profile))
+        peak_time = result.time_edges[peak_bin]
+        assert 40.0 < peak_time < 90.0
+
+    def test_invalid_parameters(self, flare_photons):
+        with pytest.raises(ValueError):
+            spectrogram(flare_photons, time_bin_s=0)
+        with pytest.raises(ValueError):
+            spectrogram(flare_photons, n_energy_bins=1)
+
+
+class TestHistogram:
+    def test_energy_histogram_conserves_counts(self, flare_photons):
+        result = histogram(flare_photons, "energy", n_bins=32)
+        assert result.total == len(flare_photons)
+
+    def test_detector_histogram_has_nine_bins(self, flare_photons):
+        result = histogram(flare_photons, "detector")
+        assert len(result.counts) == 9
+        assert result.total == len(flare_photons)
+
+    def test_time_histogram_linear_bins(self, flare_photons):
+        result = histogram(flare_photons, "time", n_bins=10)
+        widths = np.diff(result.edges)
+        assert np.allclose(widths, widths[0])
+
+    def test_mode_bin_is_soft_xray(self, flare_photons):
+        low, _high = histogram(flare_photons, "energy", n_bins=64).mode_bin()
+        assert low < 30.0  # thermal emission dominates
+
+    def test_empty_input(self):
+        empty = PhotonList(np.array([]), np.array([]), np.array([]))
+        result = histogram(empty, "energy", n_bins=8)
+        assert result.total == 0
+
+    def test_unknown_attribute_rejected(self, flare_photons):
+        with pytest.raises(ValueError):
+            histogram(flare_photons, "color")
+
+
+class TestProducts:
+    def test_pgm_round_trip(self):
+        array = np.arange(12, dtype=float).reshape(3, 4)
+        pixels = parse_pgm(render_pgm(array))
+        assert pixels.shape == (3, 4)
+        assert pixels[0, 0] == 0 and pixels[-1, -1] == 255
+
+    def test_flat_image_renders_black(self):
+        pixels = parse_pgm(render_pgm(np.full((4, 4), 3.0)))
+        assert np.all(pixels == 0)
+
+    def test_series_rendering(self):
+        payload = render_series_pgm(np.array([0.0, 1.0, 2.0, 4.0]), height=16)
+        pixels = parse_pgm(payload)
+        assert pixels.shape == (16, 4)
+        # Tallest bar is the last column.
+        assert pixels[:, 3].sum() > pixels[:, 1].sum()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            render_pgm(np.zeros(5))
+        with pytest.raises(ValueError):
+            render_series_pgm(np.array([]))
+        with pytest.raises(ValueError):
+            parse_pgm(b"JUNK")
+
+    def test_bundle_writing(self, tmp_path):
+        product = AnalysisProduct("imaging", {"n_pixels": 8}, summary={"peak": 1.0})
+        product.add_image(render_pgm(np.eye(8)))
+        product.log("step one")
+        product.log("step two")
+        paths = product.write_bundle(tmp_path, "ana42")
+        names = sorted(path.name for path in paths)
+        assert names == ["ana42.00.pgm", "ana42.log", "ana42.params.json"]
+        params = json.loads((tmp_path / "ana42.params.json").read_text())
+        assert params["algorithm"] == "imaging"
+        assert (tmp_path / "ana42.log").read_text() == "step one\nstep two\n"
+
+
+class TestCostModels:
+    def test_server_three_times_slower(self):
+        assert predict("imaging", 0.8, on_server=True) == pytest.approx(
+            3 * predict("imaging", 0.8, on_server=False)
+        )
+
+    def test_paper_anchor_values(self):
+        # Table 1 anchors: ~20 s/0.8 MB on the client, ~60 s on the server.
+        assert predict("imaging", 0.8) == pytest.approx(20.0, rel=0.05)
+        assert predict("imaging", 0.8, on_server=True) == pytest.approx(60.0, rel=0.05)
+        assert predict("histogram", 0.3) == pytest.approx(2.5, rel=0.1)
+
+    def test_superlinear_model_scales_superlinearly(self):
+        assert predict("spectroscopy", 20.0) > 2 * predict("spectroscopy", 10.0)
+
+    def test_approximation_speedup_at_least_reduction(self):
+        assert approximation_speedup("spectroscopy", 10.0, 10.0) >= 10.0
+        assert approximation_speedup("lightcurve", 10.0, 1.0) == pytest.approx(1.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(KeyError):
+            predict("unknown", 1.0)
+        with pytest.raises(ValueError):
+            CostModel(1.0, 1.0).predict(-1.0)
+        with pytest.raises(ValueError):
+            CostModel(1.0, 1.0).predict(1.0, speed_factor=0.0)
+        with pytest.raises(ValueError):
+            approximation_speedup("imaging", 1.0, 0.5)

@@ -1,0 +1,412 @@
+"""Tests for the DM component: name mapping, I/O layer, semantic layer,
+process layer, sessions and call redirection."""
+
+import pytest
+
+from repro.analysis import AnalysisProduct, render_pgm
+from repro.dm import DataManager, DmRouter, NameMappingError, SessionCache, WorkflowError
+from repro.dm.semantic import EntityNotFound
+from repro.filestore import DiskArchive
+from repro.metadb import Comparison, Insert, Select
+from repro.rhessi import TelemetryGenerator, package_units, standard_day_plan
+from repro.security import AuthError, ConstraintViolation
+
+import numpy as np
+
+
+@pytest.fixture()
+def loaded_dm(dm, tmp_path):
+    """A DM with one loaded raw unit and a scientist account."""
+    plan = standard_day_plan(duration=240.0, seed=17, n_flares=1, n_bursts=0, n_saa=0)
+    photons = TelemetryGenerator(plan, seed=17).generate()
+    units = package_units(photons, tmp_path / "incoming", unit_target_photons=10**6)
+    catalog_id = dm.semantic.create_catalog(dm.import_user, "standard", public=True)
+    for unit in units:
+        dm.process.load_raw_unit(unit, "main", standard_catalog_id=catalog_id)
+    dm.users.create_user("alice", "pw", group="scientist")
+    return dm, units, catalog_id
+
+
+def _product() -> AnalysisProduct:
+    product = AnalysisProduct("imaging", {"n_pixels": 8})
+    product.add_image(render_pgm(np.eye(8)))
+    product.log("unit test product")
+    return product
+
+
+class TestNameMapping:
+    def test_register_and_resolve_file(self, dm):
+        dm.io.names.register_file("item:1", "main", "raw/file.fits", size_bytes=10)
+        names = dm.io.names.resolve_files("item:1")
+        assert len(names) == 1
+        assert names[0].name_type == "filename"
+        assert names[0].path == "raw/file.fits"
+        assert names[0].full.endswith("archive/raw/file.fits")
+
+    def test_resolution_costs_two_indexed_queries(self, dm):
+        """The paper's §4.3 claim: two extra queries on indexed fields."""
+        dm.io.names.register_file("item:1", "main", "raw/file.fits")
+        before = dm.io.default_database.stats.selects
+        dm.io.names.resolve_files("item:1")
+        assert dm.io.default_database.stats.selects - before == 2
+
+    def test_relocate_archive_changes_constructed_names(self, dm):
+        dm.io.names.register_file("item:1", "main", "raw/file.fits")
+        affected = dm.io.names.relocate_archive("main", "/new/mount")
+        assert affected == 1
+        names = dm.io.names.resolve_files("item:1")
+        assert names[0].full == "/new/mount/raw/file.fits"
+
+    def test_relocate_unknown_archive_rejected(self, dm):
+        with pytest.raises(NameMappingError):
+            dm.io.names.relocate_archive("ghost", "/x")
+
+    def test_tuple_and_url_names(self, dm):
+        dm.io.names.register_tuple("tuple:hle:1", "item:1", "hle")
+        dm.io.names.register_url("item:1", "https://hedc.example/d/1", transform="gunzip")
+        tuples = dm.io.names.resolve_tuple("item:1")
+        urls = dm.io.names.resolve_urls("item:1")
+        assert tuples[0].path == "hle"
+        assert urls[0].root.startswith("https://")
+
+    def test_role_filtered_resolution(self, dm):
+        dm.io.names.register_file("item:1", "main", "a.pgm", role="image")
+        dm.io.names.register_file("item:1", "main", "a.log", role="log")
+        assert len(dm.io.names.resolve_files("item:1", role="image")) == 1
+
+    def test_move_file_rehomes_reference(self, dm, tmp_path):
+        other = DiskArchive("other", tmp_path / "other")
+        dm.io.storage.register(other)
+        dm.io.names.register_archive("other", str(other.root))
+        dm.io.names.register_file("item:1", "main", "raw/f.bin")
+        dm.io.names.move_file("item:1", "raw/f.bin", "other")
+        assert dm.io.names.resolve_files("item:1")[0].root == str(other.root)
+
+
+class TestIoLayer:
+    def test_sql_strings_rejected_at_dm_api(self, dm):
+        """§5.4: the DM API has no provisions for regular SQL calls."""
+        with pytest.raises(TypeError):
+            dm.io.execute("SELECT * FROM hle")
+
+    def test_collection_objects_translate_through_sql(self, dm):
+        dm.io.execute(Insert("admin_config", {
+            "config_id": 1, "section": "general", "key": "k", "value": "v",
+        }))
+        rows = dm.io.execute(Select("admin_config", where=Comparison("key", "=", "k")))
+        assert rows[0]["value"] == "v"
+
+    def test_partition_routing(self, dm):
+        """§5.2: requests for parts of the schema route to another DBMS."""
+        from repro.metadb import Database
+        from repro.schema import install_generic
+
+        other = Database(name="browse-db")
+        install_generic(other)
+        dm.io.attach_database("browse", other)
+        dm.io.route_table("ops_log", "browse")
+        dm.io.log("test", "routed message")
+        assert len(other.execute(Select("ops_log"))) == 1
+        assert len(dm.io.default_database.execute(Select("ops_log"))) == 0
+
+    def test_unknown_route_target_rejected(self, dm):
+        with pytest.raises(ValueError):
+            dm.io.route_table("hle", "nowhere")
+
+    def test_stats_track_queries_and_edits(self, dm):
+        dm.io.stats.reset()
+        dm.io.execute(Select("hle"))
+        dm.io.execute(Insert("admin_config", {
+            "config_id": 7, "section": "s", "key": "k2",
+        }))
+        assert dm.io.stats.queries == 1
+        assert dm.io.stats.edits == 1
+
+    def test_store_and_read_payload(self, dm):
+        item = dm.io.store_payload("products/x.bin", b"xyz")
+        dm.io.names.register_file("item:x", item.archive_id, item.rel_path)
+        payload = dm.io.read_item(dm.io.names.resolve_files("item:x")[0])
+        assert payload == b"xyz"
+        assert dm.io.stats.files_written == 1
+        assert dm.io.stats.bytes_read == 3
+
+
+class TestSemanticLayer:
+    def test_insert_hle_registers_tuple_reference(self, dm):
+        alice = dm.users.create_user("alice", "pw", group="scientist")
+        hle_id = dm.semantic.insert_hle(alice, {"start_time": 0.0, "end_time": 10.0})
+        refs = dm.io.names.resolve_tuple(f"hle:{hle_id}")
+        assert refs and refs[0].path == "hle"
+
+    def test_upload_right_required(self, dm):
+        guest = dm.users.create_user("guest", "pw", group="guest")
+        with pytest.raises(AuthError):
+            dm.semantic.insert_hle(guest, {"start_time": 0.0, "end_time": 1.0})
+
+    def test_import_analysis_files_and_counter(self, loaded_dm):
+        dm, _units, _catalog = loaded_dm
+        alice = dm.users.find("alice")
+        hle = dm.semantic.find_hles(alice)[0]
+        ana_id = dm.semantic.import_analysis(alice, hle["hle_id"], _product(), {})
+        stored = dm.io.names.resolve_files(f"ana:{ana_id}")
+        roles = sorted(name.role for name in stored)
+        assert roles == ["image", "log", "params"]
+        updated = dm.semantic.get_hle(alice, hle["hle_id"])
+        assert updated["n_analyses"] == hle["n_analyses"] + 1
+
+    def test_private_analysis_hidden_until_published(self, loaded_dm):
+        dm, _units, _catalog = loaded_dm
+        alice = dm.users.find("alice")
+        bob = dm.users.create_user("bob", "pw", group="user")
+        hle = dm.semantic.find_hles(alice)[0]
+        ana_id = dm.semantic.import_analysis(alice, hle["hle_id"], _product(), {})
+        with pytest.raises(EntityNotFound):
+            dm.semantic.get_analysis(bob, ana_id)
+        dm.semantic.publish_analysis(alice, ana_id)
+        assert dm.semantic.get_analysis(bob, ana_id)["ana_id"] == ana_id
+
+    def test_only_owner_may_publish(self, loaded_dm):
+        dm, _units, _catalog = loaded_dm
+        alice = dm.users.find("alice")
+        mallory = dm.users.create_user("mallory", "pw", group="scientist")
+        hle = dm.semantic.find_hles(alice)[0]
+        ana_id = dm.semantic.import_analysis(alice, hle["hle_id"], _product(), {})
+        with pytest.raises(EntityNotFound):
+            # mallory cannot even see it, let alone publish it
+            dm.semantic.publish_analysis(mallory, ana_id)
+
+    def test_delete_hle_blocked_by_analyses(self, loaded_dm):
+        dm, _units, _catalog = loaded_dm
+        alice = dm.users.find("alice")
+        hle_id = dm.semantic.insert_hle(alice, {"start_time": 0.0, "end_time": 1.0})
+        dm.semantic.import_analysis(alice, hle_id, _product(), {})
+        with pytest.raises(ConstraintViolation):
+            dm.semantic.delete_hle(alice, hle_id)
+
+    def test_delete_analysis_then_hle(self, dm):
+        alice = dm.users.create_user("alice", "pw", group="scientist")
+        hle_id = dm.semantic.insert_hle(alice, {"start_time": 0.0, "end_time": 1.0})
+        ana_id = dm.semantic.import_analysis(alice, hle_id, _product(), {})
+        dm.semantic.delete_analysis(alice, ana_id)
+        assert dm.semantic.get_hle(alice, hle_id)["n_analyses"] == 0
+        dm.semantic.delete_hle(alice, hle_id)
+        with pytest.raises(EntityNotFound):
+            dm.semantic.get_hle(alice, hle_id)
+
+    def test_redundant_work_detection(self, dm):
+        """§3.5: HEDC checks whether an analysis was already done."""
+        alice = dm.users.create_user("alice", "pw", group="scientist")
+        hle_id = dm.semantic.insert_hle(alice, {"start_time": 0.0, "end_time": 1.0})
+        assert dm.semantic.find_existing_analysis(alice, hle_id, "imaging") is None
+        dm.semantic.import_analysis(alice, hle_id, _product(), {})
+        existing = dm.semantic.find_existing_analysis(alice, hle_id, "imaging")
+        assert existing is not None
+
+    def test_catalog_membership(self, dm):
+        alice = dm.users.create_user("alice", "pw", group="scientist")
+        hle_id = dm.semantic.insert_hle(alice, {"start_time": 0.0, "end_time": 1.0,
+                                                "public": True})
+        catalog_id = dm.semantic.create_catalog(alice, "mine", public=True)
+        dm.semantic.add_to_catalog(alice, catalog_id, hle_id)
+        members = dm.semantic.catalog_hles(None, catalog_id)
+        assert [m["hle_id"] for m in members] == [hle_id]
+        assert dm.semantic.get_catalog(None, catalog_id)["n_members"] == 1
+
+    def test_private_catalog_members_hidden_from_others(self, dm):
+        alice = dm.users.create_user("alice", "pw", group="scientist")
+        bob = dm.users.create_user("bob", "pw", group="user")
+        private_hle = dm.semantic.insert_hle(alice, {"start_time": 0.0, "end_time": 1.0})
+        catalog_id = dm.semantic.create_catalog(alice, "shared", public=True)
+        dm.semantic.add_to_catalog(alice, catalog_id, private_hle)
+        assert dm.semantic.catalog_hles(bob, catalog_id) == []
+        assert len(dm.semantic.catalog_hles(alice, catalog_id)) == 1
+
+
+class TestProcessLayer:
+    def test_load_creates_unit_hles_views(self, loaded_dm):
+        dm, units, catalog_id = loaded_dm
+        rows = dm.io.execute(Select("raw_units"))
+        assert len(rows) == len(units)
+        hles = dm.semantic.find_hles(None)
+        assert hles  # the flare was found
+        views = dm.io.execute(Select("views"))
+        assert len(views) == len(units)
+        assert views[0]["encoded_bytes"] > 0
+
+    def test_loaded_photons_round_trip(self, loaded_dm):
+        dm, units, _catalog = loaded_dm
+        photons = dm.process.load_photons(units[0].unit_id)
+        assert len(photons) == units[0].n_photons
+
+    def test_view_query_matches_binned_counts(self, loaded_dm):
+        dm, units, _catalog = loaded_dm
+        photons = dm.process.load_photons(units[0].unit_id)
+        view = dm.process.get_view(units[0].unit_id)
+        points, values, _bytes = view.query(view.domain_start, view.domain_end)
+        assert values.sum() == pytest.approx(len(photons), rel=0.02)
+
+    def test_units_covering_window(self, loaded_dm):
+        dm, units, _catalog = loaded_dm
+        hits = dm.process.units_covering(units[0].start, units[0].end)
+        assert units[0].unit_id in {row["unit_id"] for row in hits}
+
+    def test_archive_relocation_workflow(self, loaded_dm, tmp_path):
+        dm, units, _catalog = loaded_dm
+        cold = DiskArchive("cold", tmp_path / "cold")
+        dm.io.storage.register(cold)
+        dm.io.names.register_archive("cold", str(cold.root))
+        moved = dm.process.relocate_archive("main", "cold")
+        assert moved > 0
+        # Data still reachable through name mapping after relocation.
+        photons = dm.process.load_photons(units[0].unit_id)
+        assert len(photons) == units[0].n_photons
+        lineage = dm.io.execute(Select("ops_lineage"))
+        assert any(row["kind"] == "migration" for row in lineage)
+
+    def test_recalibration_creates_versioned_unit(self, loaded_dm):
+        dm, units, _catalog = loaded_dm
+        version = dm.process.publish_calibration((1.05,) * 9, (0.2,) * 9, note="test")
+        assert version == 2
+        new_unit_id = dm.process.recalibrate_unit(units[0].unit_id, "main")
+        assert new_unit_id != units[0].unit_id
+        old_row = dm.io.execute(
+            Select("raw_units", where=Comparison("unit_id", "=", units[0].unit_id))
+        )[0]
+        assert old_row["superseded_by"] == new_unit_id
+        new_row = dm.io.execute(
+            Select("raw_units", where=Comparison("unit_id", "=", new_unit_id))
+        )[0]
+        assert new_row["calibration_version"] == 2
+        lineage = dm.io.execute(Select("ops_lineage"))
+        assert any(row["kind"] == "recalibration" for row in lineage)
+
+    def test_recalibrate_current_version_is_noop(self, loaded_dm):
+        dm, units, _catalog = loaded_dm
+        assert dm.process.recalibrate_unit(units[0].unit_id, "main") == units[0].unit_id
+
+    def test_generate_catalog_from_predicate(self, loaded_dm):
+        dm, _units, _catalog = loaded_dm
+        catalog_id = dm.process.generate_catalog(
+            "bright", Comparison("peak_rate", ">", 0.0), public=True
+        )
+        members = dm.semantic.catalog_hles(None, catalog_id)
+        assert len(members) == len(dm.semantic.find_hles(None))
+
+    def test_missing_view_raises(self, dm):
+        with pytest.raises(WorkflowError):
+            dm.process.get_view("ghost-unit")
+
+    def test_sync_archive_status(self, loaded_dm):
+        dm, _units, _catalog = loaded_dm
+        dm.process.sync_archive_status()
+        rows = dm.io.execute(Select("ops_archives"))
+        assert {row["archive_id"] for row in rows} >= {"main"}
+        main = next(row for row in rows if row["archive_id"] == "main")
+        assert main["bytes_stored"] > 0
+
+
+class TestSessions:
+    def test_three_kinds_per_user(self, dm):
+        alice = dm.users.create_user("alice", "pw")
+        cache = dm.sessions
+        for kind in ("hle", "ana", "catalog"):
+            session = cache.get_or_create(alice, kind, "10.0.0.1")
+            assert session.kind == kind
+        assert cache.size == 3
+
+    def test_lookup_requires_matching_ip_and_cookie(self, dm):
+        alice = dm.users.create_user("alice", "pw")
+        session = dm.sessions.create(alice, "hle", "10.0.0.1")
+        assert dm.sessions.lookup(alice, "hle", "10.0.0.1", session.cookie) is session
+        assert dm.sessions.lookup(alice, "hle", "10.9.9.9", session.cookie) is None
+        assert dm.sessions.lookup(alice, "hle", "10.0.0.1", "bad-cookie") is None
+
+    def test_get_or_create_reuses(self, dm):
+        alice = dm.users.create_user("alice", "pw")
+        first = dm.sessions.get_or_create(alice, "hle", "10.0.0.1")
+        second = dm.sessions.get_or_create(alice, "hle", "10.0.0.1", cookie=first.cookie)
+        assert first is second
+        assert dm.sessions.hits == 1
+
+    def test_view_caching_in_session(self, dm):
+        alice = dm.users.create_user("alice", "pw")
+        session = dm.sessions.create(alice, "hle", "10.0.0.1")
+        session.cache_view("recent", [{"hle_id": 1}])
+        assert session.cached_view("recent") == [{"hle_id": 1}]
+        assert session.cached_view("other") is None
+
+    def test_invalidate_user_drops_cookie_lookup(self, dm):
+        alice = dm.users.create_user("alice", "pw")
+        session = dm.sessions.create(alice, "hle", "10.0.0.1")
+        assert dm.sessions.by_cookie(session.cookie) is session
+        dm.sessions.invalidate_user(alice.user_id)
+        assert dm.sessions.by_cookie(session.cookie) is None
+
+    def test_ttl_expiry(self):
+        cache = SessionCache(ttl_s=0.0)
+        from repro.security import User
+
+        user = User(1, "u", "user", frozenset({"browse"}))
+        session = cache.create(user, "hle", "ip")
+        import time
+
+        time.sleep(0.01)
+        assert cache.lookup(user, "hle", "ip", session.cookie) is None
+
+    def test_unknown_kind_rejected(self, dm):
+        alice = dm.users.create_user("alice", "pw")
+        with pytest.raises(ValueError):
+            dm.sessions.create(alice, "weird", "ip")
+
+
+class TestRedirection:
+    def test_calls_balance_across_nodes(self, tmp_path):
+        shared_dm = DataManager.standalone(tmp_path / "node0")
+        second = DataManager(
+            shared_dm.io.default_database, shared_dm.io.storage,
+            node_name="dm1", install_schema=False,
+        )
+        router = DmRouter()
+        router.add_node(shared_dm)
+        router.add_node(second)
+        seen = []
+        for _call in range(10):
+            router.call(lambda node: seen.append(node.node_name))
+        assert set(seen) == {"dm0", "dm1"}
+        assert router.stats(0).calls + router.stats(1).calls == 10
+
+    def test_force_local_overwrite(self, tmp_path):
+        dm0 = DataManager.standalone(tmp_path / "n0")
+        dm1 = DataManager(dm0.io.default_database, dm0.io.storage,
+                          node_name="dm1", install_schema=False)
+        router = DmRouter()
+        router.add_node(dm0)
+        router.add_node(dm1)
+        names = {router.call(lambda node: node.node_name, force_local=True)
+                 for _ in range(5)}
+        assert names == {"dm0"}
+
+    def test_async_submit(self, tmp_path):
+        dm0 = DataManager.standalone(tmp_path / "n0")
+        router = DmRouter()
+        router.add_node(dm0)
+        future = router.submit(lambda node: node.node_name)
+        assert future.result(timeout=5) == "dm0"
+        router.drain()
+
+    def test_errors_are_counted_and_propagated(self, tmp_path):
+        dm0 = DataManager.standalone(tmp_path / "n0")
+        router = DmRouter()
+        router.add_node(dm0)
+
+        def boom(node):
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            router.call(boom, force_local=True)
+        assert router.stats(0).errors == 1
+
+    def test_empty_router_rejected(self):
+        router = DmRouter()
+        with pytest.raises(RuntimeError):
+            router.call(lambda node: None)

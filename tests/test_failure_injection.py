@@ -1,0 +1,267 @@
+"""Failure-injection tests: compensation, recovery and degradation paths.
+
+The paper's middle tier promises "interactions ... are self-recovering
+and tolerate failure and restart" (§5.1) and workflows where
+"compensating actions are taken if failures occur" (§5.2).  These tests
+force those failures.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.dm import DataManager, DmRouter, WorkflowError
+from repro.filestore import ArchiveError, DiskArchive, StorageManager
+from repro.metadb import Comparison, Insert, Select
+from repro.pl import (
+    AnalysisRequest,
+    Frontend,
+    IdlServerManager,
+    NoServerAvailable,
+    Phase,
+)
+from repro.rhessi import TelemetryGenerator, package_units, standard_day_plan
+
+
+class _CorruptingArchive(DiskArchive):
+    """Flips a byte on store — a bad disk or a flaky transfer."""
+
+    def store(self, rel_path, payload):
+        corrupted = bytes([payload[0] ^ 0xFF]) + payload[1:]
+        return super().store(rel_path, corrupted)
+
+
+@pytest.fixture()
+def unit(tmp_path):
+    plan = standard_day_plan(duration=120.0, seed=23, n_flares=1, n_bursts=0, n_saa=0)
+    photons = TelemetryGenerator(plan, seed=23).generate()
+    return package_units(photons, tmp_path / "in", unit_target_photons=10**6)[0]
+
+
+class TestLoadCompensation:
+    def test_duplicate_unit_load_rejected_before_metadata(self, dm, unit):
+        dm.process.load_raw_unit(unit, "main")
+        archive = dm.io.storage.archive("main")
+        files_before = len(archive.list_items())
+        rows_before = len(dm.io.execute(Select("raw_units")))
+        # A second load of the same unit collides on the read-only file
+        # store before any metadata is written.
+        with pytest.raises(Exception):
+            dm.process.load_raw_unit(unit, "main")
+        assert len(archive.list_items()) == files_before
+        assert len(dm.io.execute(Select("raw_units"))) == rows_before
+
+    def test_metadata_failure_after_store_removes_file(self, dm, unit):
+        """The §5.2 compensation path: the file was stored, then the
+        transaction failed — the stored file must be removed again."""
+        # Poison the location table: the unit's rel_path is already
+        # claimed, so register_file inside the load transaction will
+        # violate the (archive, rel_path) unique constraint.
+        dm.io.names.register_file(
+            "item:poison", "main", f"raw/{unit.unit_id}.fits.gz"
+        )
+        archive = dm.io.storage.archive("main")
+        with pytest.raises(Exception):
+            dm.process.load_raw_unit(unit, "main")
+        # Compensation removed the freshly stored file and rolled back
+        # the raw_units tuple.
+        assert not archive.exists(f"raw/{unit.unit_id}.fits.gz")
+        assert dm.io.execute(Select("raw_units")) == []
+
+    def test_load_fails_cleanly_when_archives_full(self, tmp_path, unit):
+        database_dm = DataManager.standalone(tmp_path / "dm")
+        # The only online archive is too small for the unit: no spill
+        # target exists, the placement must fail, and no metadata may
+        # have been written.
+        small = DiskArchive("tiny", tmp_path / "tiny", capacity_bytes=64)
+        database_dm.io.storage.register(small)
+        database_dm.io.storage.archive("main").online = False
+        with pytest.raises(ArchiveError):
+            database_dm.process.load_raw_unit(unit, "tiny")
+        assert database_dm.io.execute(Select("raw_units")) == []
+
+
+class TestMigrationCompensation:
+    def test_corrupt_copy_is_removed_and_source_kept(self, tmp_path):
+        manager = StorageManager()
+        good = DiskArchive("good", tmp_path / "good")
+        bad = _CorruptingArchive("bad", tmp_path / "bad")
+        manager.register(good)
+        manager.register(bad)
+        good.store("x", b"precious bits")
+        with pytest.raises(ArchiveError, match="checksum"):
+            manager.migrate("x", "good", "bad")
+        # Compensation: the corrupt destination copy is gone,
+        # the source copy survives.
+        assert not bad.exists("x")
+        assert good.retrieve("x") == b"precious bits"
+        assert manager.migrations == []
+
+    def test_relocation_stops_on_offline_destination(self, dm, unit, tmp_path):
+        dm.process.load_raw_unit(unit, "main")
+        cold = DiskArchive("cold", tmp_path / "cold")
+        dm.io.storage.register(cold)
+        dm.io.names.register_archive("cold", str(cold.root))
+        cold.online = False
+        with pytest.raises(WorkflowError):
+            dm.process.relocate_archive("main", "cold")
+        # Source data still reachable.
+        photons = dm.process.load_photons(unit.unit_id)
+        assert len(photons) == unit.n_photons
+
+
+class TestPlFaultTolerance:
+    def test_request_survives_single_interpreter_crash(self, dm, unit, tmp_path):
+        dm.process.load_raw_unit(unit, "main")
+        alice = dm.users.create_user("alice", "pw", group="scientist")
+        hle = dm.semantic.find_hles(alice)[0]
+        crashes = {"left": 1}
+
+        def crash_once():
+            if crashes["left"] > 0:
+                crashes["left"] -= 1
+                raise OSError("interpreter died")
+
+        manager = IdlServerManager("node", n_servers=1, fault_hook=crash_once)
+        manager.start_all()
+        frontend = Frontend(dm, manager)
+        request = frontend.run(AnalysisRequest(alice, hle["hle_id"], "histogram", {}))
+        assert request.phase is Phase.COMMITTED, request.error
+        assert manager.recoveries >= 1
+
+    def test_persistent_crash_fails_request_not_system(self, dm, unit):
+        dm.process.load_raw_unit(unit, "main")
+        alice = dm.users.create_user("alice", "pw", group="scientist")
+        hle = dm.semantic.find_hles(alice)[0]
+
+        def always_crash():
+            raise OSError("dead interpreter")
+
+        manager = IdlServerManager("node", n_servers=1, fault_hook=always_crash)
+        manager.start_all()
+        frontend = Frontend(dm, manager)
+        request = frontend.run(AnalysisRequest(alice, hle["hle_id"], "histogram", {}))
+        assert request.phase is Phase.FAILED
+        # The manager itself is still serviceable after a restart cycle.
+        assert manager.n_servers == 1
+
+    def test_no_server_available_when_all_stopped(self):
+        manager = IdlServerManager("node", n_servers=1)
+        # never started
+        with pytest.raises(NoServerAvailable):
+            manager.invoke("1 + 1")
+
+    def test_failed_request_leaves_no_analysis_tuple(self, dm, unit):
+        dm.process.load_raw_unit(unit, "main")
+        alice = dm.users.create_user("alice", "pw", group="scientist")
+        hle = dm.semantic.find_hles(alice)[0]
+        manager = IdlServerManager("node", n_servers=1)
+        manager.start_all()
+        frontend = Frontend(dm, manager)
+        request = frontend.run(
+            AnalysisRequest(alice, hle["hle_id"], "animation", {"n_frames": 1})
+        )
+        assert request.phase is Phase.FAILED
+        assert dm.semantic.analyses_for_hle(alice, hle["hle_id"]) == []
+
+
+class TestSessionEviction:
+    def test_lru_user_evicted_at_capacity(self):
+        from repro.dm import SessionCache
+        from repro.security import User
+
+        cache = SessionCache(max_users=2)
+        users = [User(i, f"u{i}", "user", frozenset({"browse"})) for i in range(3)]
+        first = cache.create(users[0], "hle", "ip")
+        cache.create(users[1], "hle", "ip")
+        cache.create(users[2], "hle", "ip")  # evicts the LRU user
+        assert cache.by_cookie(first.cookie) is None
+
+
+class TestRouterUnderConcurrency:
+    def test_parallel_calls_balance_and_complete(self, tmp_path):
+        dm0 = DataManager.standalone(tmp_path / "n0")
+        dm1 = DataManager(dm0.io.default_database, dm0.io.storage,
+                          node_name="dm1", install_schema=False)
+        router = DmRouter()
+        router.add_node(dm0)
+        router.add_node(dm1)
+        errors = []
+        counted = {"n": 0}
+        lock = threading.Lock()
+
+        def worker():
+            try:
+                for _call in range(20):
+                    router.call(lambda node: node.io.execute(Select("hle")))
+                    with lock:
+                        counted["n"] += 1
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert counted["n"] == 120
+        assert router.stats(0).calls + router.stats(1).calls == 120
+        assert router.stats(0).in_flight == 0
+        assert router.stats(1).in_flight == 0
+
+
+class TestMultiNodeIdAllocation:
+    def test_two_nodes_never_collide_on_ids(self, tmp_path):
+        """Two DM nodes over one resource tier (§7.3) insert HLEs
+        concurrently; the shared atomic allocator prevents PK collisions."""
+        dm0 = DataManager.standalone(tmp_path / "n0")
+        dm1 = DataManager(dm0.io.default_database, dm0.io.storage,
+                          node_name="dm1", install_schema=False)
+        alice = dm0.users.create_user("alice", "pw", group="scientist")
+        errors = []
+
+        def worker(node):
+            try:
+                for index in range(30):
+                    node.semantic.insert_hle(
+                        alice, {"start_time": float(index), "end_time": float(index + 1)}
+                    )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(node,))
+                   for node in (dm0, dm1)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        rows = dm0.io.execute(Select("hle"))
+        assert len(rows) == 60
+        assert len({row["hle_id"] for row in rows}) == 60
+
+
+class TestWebDegradation:
+    def test_internal_errors_become_500_pages(self, dm):
+        from repro.web import HttpRequest, WebServer
+
+        server = WebServer(dm)
+        response = server.handle(HttpRequest.get("/hedc/hle?id=424242"))
+        assert response.status == 500
+        assert "not found" in response.text
+        # The server keeps serving afterwards.
+        assert server.handle(HttpRequest.get("/hedc/catalogs")).status == 200
+
+    def test_best_effort_synoptic_with_every_archive_down(self):
+        from repro.synoptic import SynopticArchive, SynopticSearch
+
+        search = SynopticSearch()
+        for index in range(3):
+            archive = SynopticArchive(f"dead{index}", failure_rate=1.0, seed=index)
+            archive.populate("X", 0.0, 100.0, cadence_s=10.0)
+            search.register(archive)
+        outcome = search.search(0.0, 100.0)
+        assert outcome.total_records == 0
+        assert len(outcome.archives_failed) == 3

@@ -1,0 +1,334 @@
+"""Tests for predicates, indexes, planning and query execution."""
+
+import pytest
+
+from repro.metadb import (
+    Aggregate,
+    And,
+    Between,
+    Column,
+    ColumnType,
+    Comparison,
+    Database,
+    In,
+    Insert,
+    IsNull,
+    Join,
+    Like,
+    Not,
+    Or,
+    QueryError,
+    SchemaError,
+    Select,
+    TableSchema,
+    Update,
+)
+from repro.metadb.index import HashIndex, OrderedIndex
+from repro.metadb.predicate import conjuncts, equality_on, range_on
+
+
+class TestPredicates:
+    def test_comparison_operators(self):
+        row = {"x": 5}
+        assert Comparison("x", "=", 5).matches(row)
+        assert Comparison("x", "!=", 4).matches(row)
+        assert Comparison("x", "<", 6).matches(row)
+        assert Comparison("x", ">=", 5).matches(row)
+        assert not Comparison("x", ">", 5).matches(row)
+
+    def test_comparison_with_null_is_false(self):
+        assert not Comparison("x", "=", 5).matches({"x": None})
+        assert not Comparison("x", "=", None).matches({"x": 5})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("x", "~", 1)
+
+    def test_between_inclusive(self):
+        predicate = Between("x", 1, 3)
+        assert predicate.matches({"x": 1})
+        assert predicate.matches({"x": 3})
+        assert not predicate.matches({"x": 4})
+
+    def test_in_and_like(self):
+        assert In("k", ["a", "b"]).matches({"k": "a"})
+        assert not In("k", ["a", "b"]).matches({"k": "c"})
+        assert Like("s", "fla%").matches({"s": "flare"})
+        assert Like("s", "f_are").matches({"s": "flare"})
+        assert not Like("s", "fla%").matches({"s": "burst"})
+
+    def test_like_non_string_is_false(self):
+        assert not Like("s", "%").matches({"s": 5})
+
+    def test_is_null(self):
+        assert IsNull("x").matches({"x": None})
+        assert IsNull("x", negated=True).matches({"x": 1})
+
+    def test_boolean_combinators(self):
+        predicate = (Comparison("a", ">", 1) & Comparison("a", "<", 5)) | Comparison("b", "=", 0)
+        assert predicate.matches({"a": 3, "b": 9})
+        assert predicate.matches({"a": 99, "b": 0})
+        assert not predicate.matches({"a": 99, "b": 9})
+        assert (~Comparison("a", "=", 1)).matches({"a": 2})
+
+    def test_conjunct_flattening(self):
+        nested = And([Comparison("a", "=", 1), And([Comparison("b", "=", 2), Comparison("c", "=", 3)])])
+        assert len(conjuncts(nested)) == 3
+
+    def test_equality_extraction(self):
+        predicate = And([Comparison("a", "=", 7), Comparison("b", ">", 1)])
+        assert equality_on(predicate, "a") == 7
+        assert equality_on(predicate, "b") is None
+
+    def test_range_extraction_combines_bounds(self):
+        predicate = And([Comparison("x", ">=", 1), Comparison("x", "<", 10)])
+        assert range_on(predicate, "x") == (1, 10, True, False)
+
+    def test_range_extraction_from_equality(self):
+        assert range_on(Comparison("x", "=", 5), "x") == (5, 5, True, True)
+
+    def test_columns_collected(self):
+        predicate = And([Comparison("a", "=", 1), Or([IsNull("b"), Like("c", "%")])])
+        assert predicate.columns() == {"a", "b", "c"}
+
+
+class TestIndexes:
+    def test_hash_index_probe(self):
+        index = HashIndex(["k"])
+        index.insert(1, {"k": "x"})
+        index.insert(2, {"k": "x"})
+        index.insert(3, {"k": "y"})
+        assert index.probe("x") == {1, 2}
+        assert index.probe("missing") == set()
+
+    def test_unique_hash_index_rejects_duplicates(self):
+        from repro.metadb import IntegrityError
+
+        index = HashIndex(["k"], unique=True)
+        index.insert(1, {"k": "x"})
+        with pytest.raises(IntegrityError):
+            index.insert(2, {"k": "x"})
+
+    def test_hash_index_null_bucket(self):
+        index = HashIndex(["k"], unique=True)
+        index.insert(1, {"k": None})
+        index.insert(2, {"k": None})  # nulls never collide
+        assert index.nulls() == {1, 2}
+
+    def test_hash_index_remove(self):
+        index = HashIndex(["k"])
+        index.insert(1, {"k": "x"})
+        index.remove(1, {"k": "x"})
+        assert index.probe("x") == set()
+        assert len(index) == 0
+
+    def test_ordered_index_range_scan(self):
+        index = OrderedIndex("t")
+        for rowid, value in enumerate([5.0, 1.0, 3.0, 9.0, 7.0], start=1):
+            index.insert(rowid, {"t": value})
+        assert list(index.range(3.0, 7.0)) == [3, 1, 5]  # values 3, 5, 7
+
+    def test_ordered_index_exclusive_bounds(self):
+        index = OrderedIndex("t")
+        for rowid, value in enumerate([1.0, 2.0, 3.0], start=1):
+            index.insert(rowid, {"t": value})
+        assert list(index.range(1.0, 3.0, low_inclusive=False, high_inclusive=False)) == [2]
+
+    def test_ordered_index_descending_scan(self):
+        index = OrderedIndex("t")
+        for rowid, value in enumerate([2.0, 1.0, 3.0], start=1):
+            index.insert(rowid, {"t": value})
+        assert list(index.scan(descending=True)) == [3, 1, 2]
+
+    def test_ordered_index_remove_specific_duplicate(self):
+        index = OrderedIndex("t")
+        index.insert(1, {"t": 5.0})
+        index.insert(2, {"t": 5.0})
+        index.remove(1, {"t": 5.0})
+        assert list(index.range(5.0, 5.0)) == [2]
+
+
+@pytest.fixture()
+def events_db() -> Database:
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "events",
+            [
+                Column("event_id", ColumnType.INTEGER, nullable=False),
+                Column("kind", ColumnType.TEXT),
+                Column("start_time", ColumnType.REAL),
+                Column("rate", ColumnType.REAL),
+            ],
+            primary_key="event_id",
+            indexes=[("start_time",)],
+        )
+    )
+    kinds = ["flare", "flare", "grb", "quiet"]
+    for index in range(40):
+        database.execute(
+            Insert(
+                "events",
+                {
+                    "event_id": index,
+                    "kind": kinds[index % 4],
+                    "start_time": float(index * 10),
+                    "rate": float((index * 37) % 100),
+                },
+            )
+        )
+    return database
+
+
+class TestSelectExecution:
+    def test_full_scan_where(self, events_db):
+        rows = events_db.execute(Select("events", where=Comparison("kind", "=", "grb")))
+        assert len(rows) == 10
+        assert all(row["kind"] == "grb" for row in rows)
+
+    def test_pk_probe_plan_and_result(self, events_db):
+        select = Select("events", where=Comparison("event_id", "=", 7))
+        assert events_db.explain(select) == "PK_PROBE on event_id"
+        rows = events_db.execute(select)
+        assert len(rows) == 1 and rows[0]["event_id"] == 7
+
+    def test_range_scan_plan_and_result(self, events_db):
+        select = Select("events", where=Between("start_time", 100.0, 150.0))
+        assert events_db.explain(select) == "RANGE_SCAN on start_time"
+        rows = events_db.execute(select)
+        assert sorted(row["event_id"] for row in rows) == [10, 11, 12, 13, 14, 15]
+
+    def test_order_by_asc_desc(self, events_db):
+        asc = events_db.execute(Select("events", order_by=[("rate", "asc")], limit=3))
+        desc = events_db.execute(Select("events", order_by=[("rate", "desc")], limit=3))
+        assert asc[0]["rate"] <= asc[1]["rate"] <= asc[2]["rate"]
+        assert desc[0]["rate"] >= desc[1]["rate"] >= desc[2]["rate"]
+
+    def test_order_by_uses_ordered_index_when_available(self, events_db):
+        select = Select("events", order_by=[("start_time", "desc")], limit=5)
+        assert "RANGE_SCAN" in events_db.explain(select)
+        rows = events_db.execute(select)
+        assert [row["event_id"] for row in rows] == [39, 38, 37, 36, 35]
+
+    def test_multi_key_order_by(self, events_db):
+        rows = events_db.execute(
+            Select("events", order_by=[("kind", "asc"), ("rate", "desc")])
+        )
+        for previous, current in zip(rows, rows[1:]):
+            if previous["kind"] == current["kind"]:
+                assert previous["rate"] >= current["rate"]
+            else:
+                assert previous["kind"] <= current["kind"]
+
+    def test_limit_and_offset(self, events_db):
+        rows = events_db.execute(
+            Select("events", order_by=[("event_id", "asc")], limit=5, offset=10)
+        )
+        assert [row["event_id"] for row in rows] == [10, 11, 12, 13, 14]
+
+    def test_projection(self, events_db):
+        rows = events_db.execute(Select("events", columns=["event_id"], limit=1))
+        assert list(rows[0].keys()) == ["event_id"]
+
+    def test_unknown_projection_column_rejected(self, events_db):
+        with pytest.raises(QueryError):
+            events_db.execute(Select("events", columns=["nope"], limit=1))
+
+    def test_aggregates_without_group(self, events_db):
+        rows = events_db.execute(
+            Select(
+                "events",
+                aggregates=[
+                    Aggregate("count", "*", "n"),
+                    Aggregate("min", "rate", "lo"),
+                    Aggregate("max", "rate", "hi"),
+                    Aggregate("avg", "start_time", "mid"),
+                ],
+            )
+        )
+        assert rows[0]["n"] == 40
+        assert rows[0]["lo"] == 0.0
+        assert rows[0]["mid"] == pytest.approx(195.0)
+
+    def test_group_by(self, events_db):
+        rows = events_db.execute(
+            Select("events", group_by=["kind"], aggregates=[Aggregate("count", "*", "n")])
+        )
+        assert {row["kind"]: row["n"] for row in rows} == {
+            "flare": 20, "grb": 10, "quiet": 10,
+        }
+
+    def test_aggregate_over_empty_set_is_null(self, events_db):
+        rows = events_db.execute(
+            Select(
+                "events",
+                where=Comparison("kind", "=", "nothing"),
+                aggregates=[Aggregate("sum", "rate", "total")],
+            )
+        )
+        assert rows[0]["total"] is None
+
+    def test_group_by_requires_aggregate(self):
+        with pytest.raises(QueryError):
+            Select("events", group_by=["kind"])
+
+    def test_unknown_table_rejected(self, events_db):
+        with pytest.raises(SchemaError):
+            events_db.execute(Select("nope"))
+
+
+class TestJoin:
+    def test_inner_equijoin(self):
+        database = Database()
+        database.create_table(
+            TableSchema(
+                "hle",
+                [Column("hle_id", ColumnType.INTEGER, nullable=False),
+                 Column("kind", ColumnType.TEXT)],
+                primary_key="hle_id",
+            )
+        )
+        database.create_table(
+            TableSchema(
+                "ana",
+                [Column("ana_id", ColumnType.INTEGER, nullable=False),
+                 Column("hle_id", ColumnType.INTEGER),
+                 Column("algorithm", ColumnType.TEXT)],
+                primary_key="ana_id",
+            )
+        )
+        for hle_id, kind in ((1, "flare"), (2, "grb")):
+            database.execute(Insert("hle", {"hle_id": hle_id, "kind": kind}))
+        for ana_id, hle_id in ((10, 1), (11, 1), (12, 2)):
+            database.execute(
+                Insert("ana", {"ana_id": ana_id, "hle_id": hle_id, "algorithm": "img"})
+            )
+        rows = database.execute(
+            Select("ana", join=Join("hle", "hle_id", "hle_id"))
+        )
+        assert len(rows) == 3
+        flare_rows = [row for row in rows if row["kind"] == "flare"]
+        assert {row["ana_id"] for row in flare_rows} == {10, 11}
+
+
+class TestUpdateDelete:
+    def test_update_returns_affected_count(self, events_db):
+        affected = events_db.execute(
+            Update("events", {"kind": "renamed"}, Comparison("kind", "=", "quiet"))
+        )
+        assert affected == 10
+        assert len(events_db.execute(Select("events", where=Comparison("kind", "=", "renamed")))) == 10
+
+    def test_update_maintains_indexes(self, events_db):
+        events_db.execute(
+            Update("events", {"start_time": 9999.0}, Comparison("event_id", "=", 0))
+        )
+        rows = events_db.execute(Select("events", where=Between("start_time", 9000.0, 10000.0)))
+        assert [row["event_id"] for row in rows] == [0]
+
+    def test_delete_with_predicate(self, events_db):
+        from repro.metadb import Delete
+
+        deleted = events_db.execute(Delete("events", Comparison("kind", "=", "grb")))
+        assert deleted == 10
+        assert len(events_db.execute(Select("events"))) == 30

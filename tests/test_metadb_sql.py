@@ -1,0 +1,223 @@
+"""Tests for the SQL dialect: parsing, generation, round trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metadb import (
+    Between,
+    Column,
+    ColumnType,
+    Comparison,
+    Database,
+    Delete,
+    In,
+    Insert,
+    IsNull,
+    Like,
+    QueryError,
+    Select,
+    TableSchema,
+    Update,
+    parse,
+    to_sql,
+)
+from repro.metadb.query import Aggregate
+
+
+class TestParseSelect:
+    def test_star(self):
+        statement = parse("SELECT * FROM hle")
+        assert isinstance(statement, Select)
+        assert statement.table == "hle"
+        assert statement.columns is None
+
+    def test_columns(self):
+        statement = parse("select hle_id, kind from hle")
+        assert statement.columns == ["hle_id", "kind"]
+
+    def test_where_comparisons(self):
+        statement = parse("SELECT * FROM hle WHERE peak_rate >= 100.5")
+        assert isinstance(statement.where, Comparison)
+        assert statement.where.op == ">="
+        assert statement.where.value == 100.5
+
+    def test_ne_spellings(self):
+        assert parse("SELECT * FROM t WHERE a != 1").where.op == "!="
+        assert parse("SELECT * FROM t WHERE a <> 1").where.op == "!="
+
+    def test_string_literal_with_escaped_quote(self):
+        statement = parse("SELECT * FROM t WHERE name = 'O''Neil'")
+        assert statement.where.value == "O'Neil"
+
+    def test_between_in_like_isnull(self):
+        assert isinstance(parse("SELECT * FROM t WHERE a BETWEEN 1 AND 2").where, Between)
+        in_pred = parse("SELECT * FROM t WHERE k IN ('a', 'b')").where
+        assert isinstance(in_pred, In) and in_pred.values == frozenset({"a", "b"})
+        assert isinstance(parse("SELECT * FROM t WHERE s LIKE 'fl%'").where, Like)
+        null_pred = parse("SELECT * FROM t WHERE x IS NOT NULL").where
+        assert isinstance(null_pred, IsNull) and null_pred.negated
+
+    def test_boolean_precedence_and_binds_tighter(self):
+        statement = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        # OR of [a=1, AND(b=2, c=3)]
+        from repro.metadb import And, Or
+
+        assert isinstance(statement.where, Or)
+        assert isinstance(statement.where.operands[1], And)
+
+    def test_parentheses_override_precedence(self):
+        from repro.metadb import And, Or
+
+        statement = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(statement.where, And)
+        assert isinstance(statement.where.operands[0], Or)
+
+    def test_not(self):
+        from repro.metadb import Not
+
+        assert isinstance(parse("SELECT * FROM t WHERE NOT a = 1").where, Not)
+
+    def test_order_limit_offset(self):
+        statement = parse(
+            "SELECT * FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5"
+        )
+        assert statement.order_by == [("a", "desc"), ("b", "asc")]
+        assert statement.limit == 10
+        assert statement.offset == 5
+
+    def test_aggregates_and_group_by(self):
+        statement = parse("SELECT kind, count(*) AS n, max(rate) FROM t GROUP BY kind")
+        assert statement.group_by == ["kind"]
+        assert statement.aggregates[0] == Aggregate("count", "*", "n")
+        assert statement.aggregates[1].alias == "max_rate"
+
+    def test_non_grouped_column_rejected(self):
+        with pytest.raises(QueryError):
+            parse("SELECT kind, rate, count(*) FROM t GROUP BY kind")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            parse("SELECT * FROM t nonsense here")
+
+    def test_empty_and_unknown_statement_rejected(self):
+        with pytest.raises(QueryError):
+            parse("")
+        with pytest.raises(QueryError):
+            parse("CREATE TABLE t (a INT)")
+
+    def test_boolean_and_null_literals(self):
+        assert parse("SELECT * FROM t WHERE flag = TRUE").where.value is True
+        assert parse("UPDATE t SET a = NULL").changes == {"a": None}
+
+    def test_scientific_notation(self):
+        assert parse("SELECT * FROM t WHERE x > 1.5e3").where.value == 1500.0
+
+
+class TestParseDml:
+    def test_insert(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert isinstance(statement, Insert)
+        assert statement.values == {"a": 1, "b": "x"}
+
+    def test_insert_count_mismatch(self):
+        with pytest.raises(QueryError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_update(self):
+        statement = parse("UPDATE t SET a = 2, b = 'y' WHERE a = 1")
+        assert isinstance(statement, Update)
+        assert statement.changes == {"a": 2, "b": "y"}
+        assert statement.where is not None
+
+    def test_delete(self):
+        statement = parse("DELETE FROM t WHERE a < 0")
+        assert isinstance(statement, Delete)
+
+
+class TestGeneration:
+    def test_select_round_trip_preserves_semantics(self):
+        database = Database()
+        database.create_table(
+            TableSchema(
+                "t",
+                [Column("a", ColumnType.INTEGER, nullable=False),
+                 Column("b", ColumnType.TEXT)],
+                primary_key="a",
+            )
+        )
+        for value in range(10):
+            database.execute(Insert("t", {"a": value, "b": f"s{value}"}))
+        original = Select(
+            "t",
+            where=(Comparison("a", ">", 2) & Comparison("a", "<", 8)),
+            order_by=[("a", "desc")],
+            limit=3,
+        )
+        round_tripped = parse(to_sql(original))
+        assert database.execute(original) == database.execute(round_tripped)
+
+    def test_quote_escaping(self):
+        sql = to_sql(Insert("t", {"s": "it's"}))
+        assert "''" in sql
+        assert parse(sql).values == {"s": "it's"}
+
+    def test_update_delete_generation(self):
+        assert to_sql(Update("t", {"a": 1}, Comparison("b", "=", 2))) == (
+            "UPDATE t SET a = 1 WHERE b = 2"
+        )
+        assert to_sql(Delete("t", IsNull("x"))) == "DELETE FROM t WHERE x IS NULL"
+
+    def test_blob_literal_rejected(self):
+        with pytest.raises(QueryError):
+            to_sql(Insert("t", {"payload": b"\x00"}))
+
+
+_names = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+_values = st.one_of(
+    st.integers(min_value=-1_000_000, max_value=1_000_000),
+    st.text(alphabet=st.characters(blacklist_characters="\x00", codec="ascii"), max_size=20),
+    st.booleans(),
+)
+
+
+@st.composite
+def _predicates(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        kind = draw(st.sampled_from(["cmp", "between", "in", "like", "null"]))
+        column = draw(_names)
+        if kind == "cmp":
+            op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+            return Comparison(column, op, draw(_values))
+        if kind == "between":
+            low = draw(st.integers(-100, 100))
+            return Between(column, low, low + draw(st.integers(0, 50)))
+        if kind == "in":
+            return In(column, draw(st.lists(st.integers(-10, 10), min_size=1, max_size=4)))
+        if kind == "like":
+            pattern = draw(st.text(alphabet="ab%_", min_size=1, max_size=6))
+            return Like(column, pattern)
+        return IsNull(column, negated=draw(st.booleans()))
+    from repro.metadb import And, Or
+
+    combiner = draw(st.sampled_from([And, Or]))
+    operands = draw(st.lists(_predicates(depth=depth + 1), min_size=2, max_size=3))
+    return combiner(operands)
+
+
+class TestRoundTripProperties:
+    @given(predicate=_predicates(), rows=st.lists(
+        st.fixed_dictionaries({
+            "alpha": st.one_of(st.none(), st.integers(-100, 100)),
+            "beta": st.one_of(st.none(), st.text(alphabet="ab", max_size=4)),
+            "gamma": st.one_of(st.none(), st.integers(-100, 100)),
+            "delta": st.one_of(st.none(), st.booleans()),
+        }),
+        max_size=15,
+    ))
+    @settings(max_examples=120, deadline=None)
+    def test_predicate_survives_sql_round_trip(self, predicate, rows):
+        """parse(to_sql(p)) must match exactly the rows p matches."""
+        sql = to_sql(Select("t", where=predicate))
+        parsed = parse(sql)
+        for row in rows:
+            assert parsed.where.matches(row) == predicate.matches(row), sql

@@ -1,0 +1,133 @@
+"""Stateful property test: the database against a Python-dict model.
+
+A random interleaving of inserts, updates, deletes, point queries, range
+queries and transactions (with rollbacks) must always agree with a plain
+in-memory model — regardless of which indexes served each query.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.metadb import (
+    Between,
+    Column,
+    ColumnType,
+    Comparison,
+    Database,
+    Delete,
+    Insert,
+    IntegrityError,
+    Select,
+    TableSchema,
+    Update,
+)
+
+KEYS = st.integers(min_value=0, max_value=30)
+VALUES = st.integers(min_value=-50, max_value=50)
+
+
+class DatabaseModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.db = Database()
+        self.db.create_table(
+            TableSchema(
+                "t",
+                [
+                    Column("k", ColumnType.INTEGER, nullable=False),
+                    Column("v", ColumnType.INTEGER),
+                    Column("tag", ColumnType.TEXT),
+                ],
+                primary_key="k",
+                indexes=[("v",)],
+            )
+        )
+        self.model: dict[int, dict] = {}
+        self.tx = None
+        self.tx_shadow: dict[int, dict] = {}
+
+    # -- mutations ----------------------------------------------------------
+
+    @rule(key=KEYS, value=VALUES, tag=st.sampled_from(["a", "b", "c"]))
+    def insert(self, key, value, tag):
+        row = {"k": key, "v": value, "tag": tag}
+        if key in self.model:
+            with pytest.raises(IntegrityError):
+                self.db.execute(Insert("t", row), tx=self.tx)
+        else:
+            self.db.execute(Insert("t", row), tx=self.tx)
+            self.model[key] = row
+
+    @rule(key=KEYS, value=VALUES)
+    def update(self, key, value):
+        affected = self.db.execute(
+            Update("t", {"v": value}, Comparison("k", "=", key)), tx=self.tx
+        )
+        if key in self.model:
+            assert affected == 1
+            self.model[key] = {**self.model[key], "v": value}
+        else:
+            assert affected == 0
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        affected = self.db.execute(
+            Delete("t", Comparison("k", "=", key)), tx=self.tx
+        )
+        assert affected == (1 if key in self.model else 0)
+        self.model.pop(key, None)
+
+    # -- transactions ---------------------------------------------------------
+
+    @precondition(lambda self: self.tx is None)
+    @rule()
+    def begin(self):
+        self.tx = self.db.begin()
+        self.tx_shadow = {key: dict(row) for key, row in self.model.items()}
+
+    @precondition(lambda self: self.tx is not None)
+    @rule()
+    def commit(self):
+        self.db.commit(self.tx)
+        self.tx = None
+
+    @precondition(lambda self: self.tx is not None)
+    @rule()
+    def rollback(self):
+        self.db.rollback(self.tx)
+        self.model = self.tx_shadow
+        self.tx = None
+
+    # -- queries agree with the model ------------------------------------------
+
+    @rule(key=KEYS)
+    def point_query(self, key):
+        rows = self.db.execute(Select("t", where=Comparison("k", "=", key)))
+        expected = [self.model[key]] if key in self.model else []
+        assert rows == expected
+
+    @rule(low=VALUES, high=VALUES)
+    def range_query(self, low, high):
+        low, high = min(low, high), max(low, high)
+        rows = self.db.execute(
+            Select("t", where=Between("v", low, high), order_by=[("k", "asc")])
+        )
+        expected = sorted(
+            (row for row in self.model.values()
+             if row["v"] is not None and low <= row["v"] <= high),
+            key=lambda row: row["k"],
+        )
+        assert rows == expected
+
+    @invariant()
+    def count_agrees(self):
+        rows = self.db.execute(Select("t"))
+        assert len(rows) == len(self.model)
+
+
+TestDatabaseStateful = DatabaseModel.TestCase
+TestDatabaseStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,140 @@
+"""A full mission-lifecycle soak test.
+
+Exercises the change-absorption story end to end in one scenario, the
+way the paper says HEDC actually lived (§3.1): two observation windows
+arrive, users work, a recalibration lands, archives are reorganised,
+maintenance purges stale private data — and every invariant holds
+throughout.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Hedc
+from repro.dm import PurgeRule
+from repro.filestore import DiskArchive
+from repro.metadb import Comparison, Select
+from repro.pl import Phase
+from repro.rhessi import standard_day_plan
+
+
+@pytest.fixture(scope="module")
+def mission(tmp_path_factory):
+    root = tmp_path_factory.mktemp("mission")
+    hedc = Hedc.create(root)
+
+    # Day 1 and day 2 arrive as separate downlinks.
+    plan1 = standard_day_plan(duration=300.0, seed=101, n_flares=2, n_bursts=0, n_saa=0)
+    plan2 = standard_day_plan(duration=300.0, seed=202, n_flares=1, n_bursts=1, n_saa=0)
+    # Shift day 2 to follow day 1 in mission time.
+    plan2.start = 300.0
+    for phenomenon in list(plan2.phenomena):
+        pass  # phenomena are absolute within their own plan; windows differ by seed
+    report1 = hedc.ingest_observation(plan=plan1, seed=101)
+    report2 = hedc.ingest_observation(plan=plan2, seed=202)
+
+    alice = hedc.register_user("alice", "pw")
+    bob = hedc.register_user("bob", "pw")
+    return hedc, alice, bob, report1, report2, root
+
+
+class TestMissionLifecycle:
+    def test_both_downlinks_catalogued(self, mission):
+        hedc, _alice, _bob, report1, report2, _root = mission
+        events = hedc.events()
+        assert len(events) == len(report1.hle_ids) + len(report2.hle_ids)
+        totals = hedc.dm.reports.repository_totals()
+        assert totals["raw_units"] == report1.n_units + report2.n_units
+
+    def test_users_work_and_share(self, mission):
+        hedc, alice, bob, _r1, _r2, _root = mission
+        events = hedc.events()
+        first = hedc.analyze(alice, events[0]["hle_id"], "lightcurve", publish=True)
+        assert first.phase is Phase.COMMITTED
+        # Bob sees Alice's shared result and avoids recomputation.
+        found = hedc.dm.semantic.find_existing_analysis(
+            bob, events[0]["hle_id"], "lightcurve"
+        )
+        assert found is not None and found["ana_id"] == first.ana_id
+        # Bob's own private work stays private.
+        second = hedc.analyze(bob, events[1]["hle_id"], "histogram")
+        assert second.phase is Phase.COMMITTED
+        from repro.dm import EntityNotFound
+
+        with pytest.raises(EntityNotFound):
+            hedc.dm.semantic.get_analysis(alice, second.ana_id)
+
+    def test_recalibration_supersedes_every_unit(self, mission):
+        hedc, _alice, _bob, _r1, _r2, _root = mission
+        hedc.dm.process.publish_calibration(
+            (1.02,) * 9, (0.15,) * 9, note="in-flight gain drift"
+        )
+        units = hedc.dm.io.execute(
+            Select("raw_units", where=Comparison("calibration_version", "=", 1))
+        )
+        assert units
+        for unit in units:
+            if unit["superseded_by"]:
+                continue
+            hedc.dm.process.recalibrate_unit(unit["unit_id"], "main")
+        old = hedc.dm.io.execute(
+            Select("raw_units", where=Comparison("calibration_version", "=", 1))
+        )
+        assert all(row["superseded_by"] for row in old)
+        lineage = hedc.dm.io.execute(Select("ops_lineage"))
+        assert sum(1 for row in lineage if row["kind"] == "recalibration") == len(old)
+
+    def test_archive_reorganisation_mid_mission(self, mission):
+        hedc, alice, _bob, _r1, _r2, root = mission
+        cold = DiskArchive("cold", root / "cold")
+        hedc.dm.io.storage.register(cold)
+        hedc.dm.io.names.register_archive("cold", str(cold.root))
+        moved = hedc.dm.process.relocate_archive("main", "cold")
+        assert moved > 0
+        # The system keeps answering: a new analysis runs on relocated data.
+        events = hedc.events()
+        request = hedc.analyze(alice, events[0]["hle_id"], "histogram",
+                               {"n_bins": 32})
+        assert request.phase is Phase.COMMITTED, request.error
+
+    def test_maintenance_purges_only_stale_private_data(self, mission):
+        import time
+
+        hedc, alice, bob, _r1, _r2, _root = mission
+        from repro.metadb import Update
+
+        # Backdate all of bob's private analyses.
+        hedc.dm.io.execute(
+            Update("ana", {"created_at": time.time() - 10 * 86_400},
+                   Comparison("owner_id", "=", bob.user_id))
+        )
+        hedc.dm.maintenance.add_purge_rule(PurgeRule("week", max_age_s=7 * 86_400))
+        reports = hedc.dm.maintenance.apply_purge_rules()
+        assert sum(report.analyses_deleted for report in reports) >= 1
+        # Alice's published analysis survived.
+        published = hedc.dm.io.execute(
+            Select("ana", where=Comparison("public", "=", True))
+        )
+        assert published
+
+    def test_final_integrity_sweep(self, mission):
+        hedc, _alice, _bob, _r1, _r2, _root = mission
+        # Every loc_files row points at an existing file.
+        for reference in hedc.dm.io.execute(Select("loc_files")):
+            archive = hedc.dm.io.storage.archive(reference["archive_id"])
+            assert archive.exists(reference["rel_path"]), reference
+        # Every ANA references an existing HLE and owner.
+        hle_ids = {row["hle_id"] for row in hedc.dm.io.execute(Select("hle"))}
+        user_ids = {row["user_id"] for row in hedc.dm.io.execute(Select("admin_users"))}
+        for analysis in hedc.dm.io.execute(Select("ana")):
+            assert analysis["hle_id"] in hle_ids
+            assert analysis["owner_id"] in user_ids
+        # Catalog member counts are accurate.
+        for catalog in hedc.dm.io.execute(Select("catalogs")):
+            members = hedc.dm.io.execute(
+                Select("catalog_members",
+                       where=Comparison("catalog_id", "=", catalog["catalog_id"]))
+            )
+            assert catalog["n_members"] == len(members)
+        # No orphan files remain on the main archive.
+        assert hedc.dm.maintenance.scrub_orphan_files("main") == 0

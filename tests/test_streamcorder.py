@@ -1,0 +1,153 @@
+"""Tests for the StreamCorder fat client."""
+
+import numpy as np
+import pytest
+
+from repro.streamcorder import CordletRegistry, StaticPathCache, StreamCorder
+from repro.wavelets import encode
+
+
+@pytest.fixture()
+def server_with_data(dm, tmp_path):
+    from repro.rhessi import TelemetryGenerator, package_units, standard_day_plan
+
+    plan = standard_day_plan(duration=240.0, seed=17, n_flares=1, n_bursts=0, n_saa=0)
+    photons = TelemetryGenerator(plan, seed=17).generate()
+    units = package_units(photons, tmp_path / "in", unit_target_photons=10**6)
+    for unit in units:
+        dm.process.load_raw_unit(unit, "main")
+    user = dm.users.create_user("alice", "pw", group="scientist")
+    return dm, units, user
+
+
+class TestStaticPathCache:
+    def test_path_is_deterministic(self, tmp_path):
+        cache = StaticPathCache(tmp_path)
+        first = cache.path_for("data", "unit:x", created_at=100.0)
+        second = cache.path_for("data", "unit:x", created_at=100.0)
+        assert first == second
+        assert "data" in str(first)
+
+    def test_put_get_and_stats(self, tmp_path):
+        cache = StaticPathCache(tmp_path)
+        assert cache.get("data", "k") is None
+        cache.put("data", "k", b"payload")
+        assert cache.get("data", "k") == b"payload"
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_put_is_idempotent(self, tmp_path):
+        cache = StaticPathCache(tmp_path)
+        cache.put("data", "k", b"one")
+        cache.put("data", "k", b"two")  # read-only data: first write wins
+        assert cache.get("data", "k") == b"one"
+
+
+class TestCordlets:
+    def test_registry_offers_by_data_type(self):
+        registry = CordletRegistry().load_defaults()
+        offered = {cordlet.name for cordlet in registry.offered_for("photons")}
+        assert offered == {"lightcurve", "histogram"}
+        assert registry.offered_for("nothing") == []
+        assert registry.get("density_plot") is not None
+        assert registry.get("ghost") is None
+
+    def test_lightcurve_cordlet(self, photons_small):
+        registry = CordletRegistry().load_defaults()
+        result = registry.get("lightcurve").run({"photons": photons_small})
+        assert result["peak"][1] > 0
+        assert result["image"].startswith(b"P5")
+
+    def test_histogram_cordlet(self, photons_small):
+        registry = CordletRegistry().load_defaults()
+        result = registry.get("histogram").run(
+            {"photons": photons_small, "attribute": "detector"}
+        )
+        assert result["counts"].sum() == len(photons_small)
+
+    def test_progressive_view_cordlet(self):
+        registry = CordletRegistry().load_defaults()
+        signal = np.cumsum(np.ones(256))
+        stream = encode(signal, quantizer_step=0.1)
+        result = registry.get("progressive_view").run({"payload": stream.prefix(1)})
+        assert len(result["values"]) == 256
+        assert result["bytes_decoded"] < stream.total_bytes
+
+
+class TestStreamCorderClient:
+    def test_fetch_unit_then_cache_hit(self, server_with_data, tmp_path):
+        dm, units, user = server_with_data
+        client = StreamCorder(dm, user, tmp_path / "sc")
+        first = client.fetch_unit(units[0].unit_id)
+        downloads_after_first = client.downloads
+        second = client.fetch_unit(units[0].unit_id)
+        assert len(first) == len(second) == units[0].n_photons
+        assert client.downloads == downloads_after_first  # served from cache
+
+    def test_clone_cache_strategy_uses_local_dm(self, server_with_data, tmp_path):
+        dm, units, user = server_with_data
+        client = StreamCorder(dm, user, tmp_path / "sc", cache_strategy="clone")
+        client.fetch_unit(units[0].unit_id)
+        # The clone's metadata now references the cached object.
+        from repro.metadb import Select
+
+        local_files = client.local_dm.io.execute(Select("loc_files"))
+        assert len(local_files) == 1
+        assert client.clone_cache.stats.bytes_cached > 0
+
+    def test_clone_schema_identical_to_server(self, server_with_data, tmp_path):
+        """§6.2: every StreamCorder installation is a server clone."""
+        dm, _units, user = server_with_data
+        client = StreamCorder(dm, user, tmp_path / "sc", cache_strategy="clone")
+        assert client.local_dm.io.default_database.table_names() == \
+            dm.io.default_database.table_names()
+
+    def test_invalid_cache_strategy_rejected(self, server_with_data, tmp_path):
+        dm, _units, user = server_with_data
+        with pytest.raises(ValueError):
+            StreamCorder(dm, user, tmp_path / "sc", cache_strategy="magic")
+
+    def test_local_job_execution(self, server_with_data, tmp_path):
+        dm, units, user = server_with_data
+        client = StreamCorder(dm, user, tmp_path / "sc")
+        photons = client.fetch_unit(units[0].unit_id)
+        result = client.run_job("lightcurve", {"photons": photons})
+        assert result["peak"][1] > 0
+
+    def test_unknown_cordlet_rejected(self, server_with_data, tmp_path):
+        dm, _units, user = server_with_data
+        client = StreamCorder(dm, user, tmp_path / "sc")
+        with pytest.raises(KeyError):
+            client.submit_job("warp_drive", {})
+
+    def test_progressive_lightcurve_saves_bytes(self, server_with_data, tmp_path):
+        dm, units, user = server_with_data
+        client = StreamCorder(dm, user, tmp_path / "sc")
+        result = client.progressive_lightcurve(units[0].unit_id, detail_levels=1)
+        assert result["reduction_factor"] > 2.0
+        assert result["bytes_saved"] > 0
+        assert len(result["values"]) > 0
+
+    def test_peer_to_peer_download(self, server_with_data, tmp_path):
+        dm, units, user = server_with_data
+        peer = StreamCorder(dm, user, tmp_path / "peer")
+        peer.fetch_unit(units[0].unit_id)  # peer caches the unit
+        client = StreamCorder(dm, user, tmp_path / "client")
+        client.add_peer(peer)
+        server_reads_before = dm.io.stats.files_read
+        client.fetch_unit(units[0].unit_id)
+        # Served by the peer: the server's file store was not touched.
+        assert dm.io.stats.files_read == server_reads_before
+
+    def test_mirror_hles_into_clone(self, server_with_data, tmp_path):
+        dm, _units, user = server_with_data
+        client = StreamCorder(dm, user, tmp_path / "sc", cache_strategy="clone")
+        mirrored = client.mirror_hles()
+        assert mirrored == len(dm.semantic.find_hles(user))
+        assert client.mirror_hles() == 0  # idempotent
+
+    def test_mirror_requires_clone_strategy(self, server_with_data, tmp_path):
+        dm, _units, user = server_with_data
+        client = StreamCorder(dm, user, tmp_path / "sc", cache_strategy="static")
+        with pytest.raises(RuntimeError):
+            client.mirror_hles()

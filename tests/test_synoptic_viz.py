@@ -1,0 +1,159 @@
+"""Tests for synoptic search and catalog visualization."""
+
+import numpy as np
+import pytest
+
+from repro.synoptic import (
+    RemoteArchiveDown,
+    SynopticArchive,
+    SynopticSearch,
+    standard_archive_set,
+)
+from repro.viz import CatalogArray
+from repro.wavelets import decode
+
+
+class TestSynopticArchive:
+    def test_populate_and_query_by_time(self):
+        archive = SynopticArchive("soho")
+        archive.populate("EIT", 0.0, 3600.0, cadence_s=600.0)
+        assert len(archive) == 6
+        hits = archive.query(500.0, 1500.0)
+        assert all(record.observation_time < 1500.0 for record in hits)
+        assert len(hits) == 3  # 0-600 overlaps, 600, 1200
+
+    def test_failure_rate_raises(self):
+        archive = SynopticArchive("flaky", failure_rate=1.0)
+        archive.add_record("X", 0.0)
+        with pytest.raises(RemoteArchiveDown):
+            archive.query(0.0, 10.0)
+        assert archive.queries_failed == 1
+
+    def test_records_carry_urls(self):
+        archive = SynopticArchive("soho")
+        record = archive.add_record("EIT", 5.0)
+        assert record.url.startswith("https://soho.example/")
+
+
+class TestSynopticSearch:
+    def test_parallel_search_groups_by_instrument(self):
+        search = SynopticSearch()
+        for name, instrument in (("a", "EIT"), ("b", "LASCO")):
+            archive = SynopticArchive(name)
+            archive.populate(instrument, 0.0, 1000.0, cadence_s=100.0)
+            search.register(archive)
+        outcome = search.search(0.0, 500.0)
+        assert set(outcome.records_by_instrument) == {"EIT", "LASCO"}
+        assert outcome.archives_failed == []
+        for records in outcome.records_by_instrument.values():
+            times = [record.observation_time for record in records]
+            assert times == sorted(times)
+
+    def test_best_effort_tolerates_failed_archive(self):
+        search = SynopticSearch()
+        good = SynopticArchive("good")
+        good.populate("EIT", 0.0, 100.0, cadence_s=10.0)
+        bad = SynopticArchive("bad", failure_rate=1.0)
+        bad.populate("HMI", 0.0, 100.0, cadence_s=10.0)
+        search.register(good)
+        search.register(bad)
+        outcome = search.search(0.0, 100.0)
+        assert outcome.archives_answered == ["good"]
+        assert outcome.archives_failed == ["bad"]
+        assert "HMI" not in outcome.records_by_instrument
+
+    def test_standard_set_has_six_archives(self):
+        """§6.4: six popular remote archives are searched."""
+        search = standard_archive_set(mission_end=3600.0)
+        assert search.n_archives == 6
+        outcome = search.search(0.0, 3600.0)
+        assert outcome.total_records > 0
+
+    def test_empty_window_returns_nothing(self):
+        search = standard_archive_set(mission_end=100.0)
+        outcome = search.search(5000.0, 6000.0)
+        assert outcome.total_records == 0
+
+
+def _rows(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        {
+            "start_time": float(rng.uniform(0, 1000)),
+            "peak_rate": float(rng.uniform(10, 1000)),
+            "mean_energy_kev": float(rng.uniform(3, 100)),
+            "kind": "flare",
+        }
+        for _ in range(n)
+    ]
+
+
+class TestCatalogArray:
+    def test_rows_with_nulls_dropped(self):
+        rows = _rows(10) + [{"start_time": None, "peak_rate": 1.0, "mean_energy_kev": 1.0}]
+        array = CatalogArray(rows, ["start_time", "peak_rate"])
+        assert len(array) == 10
+
+    def test_sorted_by_first_dimension(self):
+        array = CatalogArray(_rows(50), ["start_time", "peak_rate"])
+        times = array.data[:, 0]
+        assert np.all(np.diff(times) >= 0)
+
+    def test_range_selection(self):
+        array = CatalogArray(_rows(200), ["start_time", "peak_rate"])
+        subset = array.select(start_time=(100.0, 200.0), peak_rate=(0.0, 500.0))
+        assert len(subset) < len(array)
+        assert np.all(subset.data[:, 0] >= 100.0)
+        assert np.all(subset.data[:, 0] < 200.0)
+        assert np.all(subset.data[:, 1] < 500.0)
+
+    def test_density_conserves_tuples(self):
+        array = CatalogArray(_rows(300), ["start_time", "peak_rate"])
+        density, _x, _y = array.density("start_time", "peak_rate", bins=16)
+        assert density.sum() == 300
+
+    def test_density_1d(self):
+        array = CatalogArray(_rows(100), ["start_time", "peak_rate"])
+        counts, edges = array.density_1d("peak_rate", bins=20)
+        assert counts.sum() == 100
+        assert len(edges) == 21
+
+    def test_extents_cover_all_tuples(self):
+        array = CatalogArray(_rows(100), ["start_time", "peak_rate"])
+        extents = array.extents("start_time", "peak_rate")
+        assert sum(extent.count for extent in extents) == 100
+        for extent in extents:
+            assert extent.x_low <= extent.x_high
+            assert extent.y_low <= extent.y_high
+
+    def test_clustering_respects_gap(self):
+        rows = [
+            {"t": 0.0, "v": 1.0}, {"t": 1.0, "v": 2.0},   # cluster 1
+            {"t": 100.0, "v": 3.0},                        # cluster 2
+        ]
+        array = CatalogArray(rows, ["t", "v"])
+        extents = array.extents("t", "v", cluster_gap=10.0)
+        assert len(extents) == 2
+        assert extents[0].count == 2
+
+    def test_encoded_density_decodes_client_side(self):
+        array = CatalogArray(_rows(500), ["start_time", "peak_rate"])
+        stream = array.encode_density("start_time", bins=128, quantizer_step=0.1)
+        full = CatalogArray.decode_density(stream.payload)
+        assert full.sum() == pytest.approx(500, rel=0.02)
+        approx = CatalogArray.decode_density(stream.prefix(1))
+        assert len(approx) == 128
+
+    def test_empty_catalog(self):
+        array = CatalogArray([], ["start_time", "peak_rate"])
+        assert len(array) == 0
+        density, _x, _y = array.density("start_time", "peak_rate", bins=4)
+        assert density.sum() == 0
+        assert array.extents("start_time", "peak_rate") == []
+
+    def test_unknown_dimension_rejected(self):
+        array = CatalogArray(_rows(5), ["start_time", "peak_rate"])
+        with pytest.raises(KeyError):
+            array.density("ghost", "peak_rate")
+        with pytest.raises(ValueError):
+            CatalogArray(_rows(5), [])

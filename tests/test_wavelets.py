@@ -1,0 +1,198 @@
+"""Tests for wavelet transforms, progressive codec and views."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.wavelets import (
+    RangePartitionedView,
+    SUPPORTED_FILTERS,
+    decode,
+    encode,
+    forward,
+    forward2d,
+    inverse,
+    inverse2d,
+    reconstruction_error,
+)
+
+
+def _signal(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.normal(size=n)) + 10.0
+
+
+class TestTransform:
+    @pytest.mark.parametrize("filter_name", SUPPORTED_FILTERS)
+    @pytest.mark.parametrize("length", [2, 3, 7, 16, 100, 1023, 4096])
+    def test_perfect_reconstruction(self, filter_name, length):
+        signal = _signal(length)
+        pyramid = forward(signal, filter_name=filter_name)
+        assert np.allclose(inverse(pyramid), signal, atol=1e-8)
+
+    def test_levels_limited_by_length(self):
+        pyramid = forward(_signal(16), levels=99)
+        assert pyramid.levels <= 4
+
+    def test_progressive_reconstruction_has_full_length(self):
+        signal = _signal(256)
+        pyramid = forward(signal)
+        for used in range(pyramid.levels + 1):
+            approx = inverse(pyramid, levels_used=used)
+            assert len(approx) == len(signal)
+
+    def test_more_levels_monotonically_reduce_error(self):
+        signal = _signal(1024)
+        pyramid = forward(signal)
+        errors = [
+            reconstruction_error(signal, inverse(pyramid, levels_used=used))
+            for used in range(pyramid.levels + 1)
+        ]
+        assert errors[-1] < 1e-8
+        for coarse, fine in zip(errors, errors[1:]):
+            assert fine <= coarse + 1e-12
+
+    def test_coefficient_count_grows_with_levels(self):
+        pyramid = forward(_signal(512))
+        counts = [pyramid.coefficient_count(used) for used in range(pyramid.levels + 1)]
+        assert counts == sorted(counts)
+        assert counts[-1] >= 512
+
+    def test_empty_and_2d_signals_rejected(self):
+        with pytest.raises(ValueError):
+            forward(np.array([]))
+        with pytest.raises(ValueError):
+            forward(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            forward(_signal(8), filter_name="db4")
+
+    def test_constant_signal_has_zero_details(self):
+        pyramid = forward(np.full(64, 7.0), filter_name="haar")
+        for detail in pyramid.details:
+            assert np.allclose(detail, 0.0)
+
+    @given(st.lists(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+                    min_size=2, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_reconstruction_property(self, values):
+        signal = np.array(values)
+        for filter_name in SUPPORTED_FILTERS:
+            assert np.allclose(
+                inverse(forward(signal, filter_name=filter_name)), signal,
+                atol=1e-6, rtol=1e-9,
+            )
+
+
+class Test2d:
+    @pytest.mark.parametrize("shape", [(8, 8), (15, 9), (33, 47), (2, 2)])
+    def test_2d_round_trip(self, shape):
+        rng = np.random.default_rng(1)
+        image = rng.normal(size=shape).cumsum(axis=0).cumsum(axis=1)
+        decomposition = forward2d(image, levels=3)
+        assert np.allclose(inverse2d(decomposition), image, atol=1e-6)
+
+    def test_2d_approximation_shape_preserved(self):
+        image = np.random.default_rng(2).normal(size=(20, 30))
+        decomposition = forward2d(image, levels=2)
+        smooth = inverse2d(decomposition, levels_used=0)
+        assert smooth.shape == image.shape
+
+    def test_2d_rejects_1d(self):
+        with pytest.raises(ValueError):
+            forward2d(np.zeros(8))
+
+
+class TestCodec:
+    def test_full_decode_matches_within_quantization(self):
+        signal = _signal(800)
+        stream = encode(signal, quantizer_step=0.01)
+        assert reconstruction_error(signal, decode(stream.payload)) < 1e-3
+
+    def test_prefix_decodes_to_approximation(self):
+        signal = _signal(2048)
+        stream = encode(signal, quantizer_step=0.01)
+        coarse = decode(stream.prefix(0))
+        finer = decode(stream.prefix(3))
+        assert len(coarse) == len(signal)
+        assert reconstruction_error(signal, finer) <= reconstruction_error(signal, coarse)
+
+    def test_prefix_is_much_smaller(self):
+        stream = encode(_signal(4096), quantizer_step=0.01)
+        assert len(stream.prefix(1)) < stream.total_bytes / 4
+
+    def test_every_prefix_boundary_is_decodable(self):
+        signal = _signal(512)
+        stream = encode(signal, quantizer_step=0.1)
+        for levels in range(len(stream.section_offsets)):
+            decoded = decode(stream.prefix(levels))
+            assert len(decoded) == len(signal)
+
+    def test_coarser_quantizer_shrinks_stream(self):
+        signal = _signal(1024)
+        fine = encode(signal, quantizer_step=0.01)
+        coarse = encode(signal, quantizer_step=1.0)
+        assert coarse.total_bytes < fine.total_bytes
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            decode(b"NOPE" + b"\x00" * 64)
+
+    def test_invalid_quantizer_rejected(self):
+        with pytest.raises(ValueError):
+            encode(_signal(8), quantizer_step=0.0)
+
+    @given(st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                    min_size=4, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_codec_error_bounded_by_quantizer(self, values):
+        signal = np.array(values)
+        stream = encode(signal, quantizer_step=0.5)
+        decoded = decode(stream.payload)
+        # Error per sample bounded by ~quantizer * sqrt(levels) envelope.
+        assert np.max(np.abs(decoded - signal)) < 0.5 * 12
+
+
+class TestRangePartitionedView:
+    def test_query_returns_points_in_range(self):
+        view = RangePartitionedView(_signal(1000), domain_start=0.0, domain_step=2.0,
+                                    partition_length=128)
+        points, values, _bytes = view.query(100.0, 300.0)
+        assert np.all((points >= 100.0) & (points < 300.0))
+        assert len(points) == 100  # 200 domain units / step 2
+
+    def test_query_accuracy_full_detail(self):
+        signal = _signal(1000)
+        view = RangePartitionedView(signal, 0.0, 1.0, partition_length=256,
+                                    quantizer_step=0.01)
+        points, values, _bytes = view.query(0.0, 1000.0)
+        assert reconstruction_error(signal, values) < 1e-3
+
+    def test_lod_query_reads_fewer_bytes(self):
+        view = RangePartitionedView(_signal(4096), 0.0, 1.0, partition_length=512)
+        _p, _v, full_bytes = view.query(0.0, 4096.0)
+        _p, _v, lod_bytes = view.query(0.0, 4096.0, detail_levels=1)
+        assert lod_bytes < full_bytes / 3
+
+    def test_partition_pruning(self):
+        view = RangePartitionedView(_signal(4096), 0.0, 1.0, partition_length=512)
+        _p, _v, narrow_bytes = view.query(0.0, 100.0)
+        _p, _v, wide_bytes = view.query(0.0, 4096.0)
+        assert narrow_bytes < wide_bytes / 4
+
+    def test_out_of_range_query_is_empty(self):
+        view = RangePartitionedView(_signal(100), 0.0, 1.0, partition_length=64)
+        points, values, nbytes = view.query(5000.0, 6000.0)
+        assert len(points) == 0 and nbytes == 0
+
+    def test_empty_range_rejected(self):
+        view = RangePartitionedView(_signal(100), 0.0, 1.0, partition_length=64)
+        with pytest.raises(ValueError):
+            view.query(10.0, 10.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RangePartitionedView(_signal(10), 0.0, 0.0)
+        with pytest.raises(ValueError):
+            RangePartitionedView(_signal(10), 0.0, 1.0, partition_length=2)
+        with pytest.raises(ValueError):
+            RangePartitionedView(np.zeros((2, 2)), 0.0, 1.0)

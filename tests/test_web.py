@@ -1,0 +1,222 @@
+"""Tests for the presentation tier: templates, HTTP model, servlets."""
+
+import pytest
+
+from repro.web import (
+    HttpRequest,
+    HttpResponse,
+    Router,
+    SESSION_COOKIE,
+    Template,
+    TemplateError,
+    TemplateRegistry,
+    ThinClient,
+    WebServer,
+)
+
+
+class TestTemplates:
+    def test_variable_substitution_and_escaping(self):
+        template = Template("<p>{{ name }}</p>")
+        assert template.render({"name": "a<b"}) == "<p>a&lt;b</p>"
+
+    def test_safe_filter_skips_escaping(self):
+        template = Template("{{ markup|safe }}")
+        assert template.render({"markup": "<b>x</b>"}) == "<b>x</b>"
+
+    def test_dotted_access_dict_and_attribute(self):
+        class Thing:
+            label = "attr"
+
+        template = Template("{{ row.kind }}/{{ obj.label }}")
+        assert template.render({"row": {"kind": "flare"}, "obj": Thing()}) == "flare/attr"
+
+    def test_for_loop(self):
+        template = Template("{% for x in items %}[{{ x }}]{% endfor %}")
+        assert template.render({"items": [1, 2, 3]}) == "[1][2][3]"
+
+    def test_if_else(self):
+        template = Template("{% if user %}yes{% else %}no{% endif %}")
+        assert template.render({"user": "ada"}) == "yes"
+        assert template.render({"user": None}) == "no"
+
+    def test_if_missing_variable_is_false(self):
+        template = Template("{% if ghost %}yes{% else %}no{% endif %}")
+        assert template.render({}) == "no"
+
+    def test_include_via_registry(self):
+        registry = TemplateRegistry()
+        registry.register("header", "<h1>{{ title }}</h1>")
+        registry.register("page", "{% include header %}body")
+        assert registry.render("page", {"title": "T"}) == "<h1>T</h1>body"
+
+    def test_none_renders_empty(self):
+        assert Template("[{{ x }}]").render({"x": None}) == "[]"
+
+    def test_float_formatting(self):
+        assert Template("{{ v }}").render({"v": 3.14159265}) == "3.14159"
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(TemplateError):
+            Template("{{ ghost }}").render({})
+
+    def test_unclosed_tag_rejected(self):
+        with pytest.raises(TemplateError):
+            Template("{% for x in items %}no end")
+
+    def test_unknown_template_rejected(self):
+        with pytest.raises(TemplateError):
+            TemplateRegistry().render("ghost", {})
+
+
+class TestHttpModel:
+    def test_get_parses_query_params(self):
+        request = HttpRequest.get("/hedc/hle?id=7&view=full")
+        assert request.params == {"id": "7", "view": "full"}
+        assert request.path == "/hedc/hle"
+
+    def test_router_longest_prefix_wins(self):
+        router = Router()
+        router.add("/hedc", lambda request: HttpResponse.html("root"))
+        router.add("/hedc/hle", lambda request: HttpResponse.html("hle"))
+        assert router.dispatch(HttpRequest.get("/hedc/hle?id=1")).text == "hle"
+        assert router.dispatch(HttpRequest.get("/hedc")).text == "root"
+
+    def test_router_404(self):
+        router = Router()
+        assert router.dispatch(HttpRequest.get("/nowhere")).status == 404
+
+    def test_redirect_response(self):
+        response = HttpResponse.redirect("/hedc/catalogs")
+        assert response.status == 302
+        assert response.headers["Location"] == "/hedc/catalogs"
+
+
+@pytest.fixture(scope="module")
+def web_stack(populated_hedc):
+    hedc = populated_hedc
+    server = hedc.web
+    events = hedc.events()
+    return hedc, server, events
+
+
+@pytest.fixture()
+def logged_in_client(web_stack):
+    hedc, server, _events = web_stack
+    client = ThinClient(server)
+    assert client.login("reader", "reader-pw")
+    return client
+
+
+class TestServlets:
+    def test_login_failure_reports_error(self, web_stack):
+        _hedc, server, _events = web_stack
+        client = ThinClient(server)
+        response = client.post("/hedc/login", {"login": "reader", "password": "bad"})
+        assert response.status == 200
+        assert "bad password" in response.text
+        assert SESSION_COOKIE not in client.cookies
+
+    def test_login_sets_session_cookie(self, logged_in_client):
+        assert SESSION_COOKIE in logged_in_client.cookies
+
+    def test_catalog_list_and_page(self, web_stack, logged_in_client):
+        hedc, _server, _events = web_stack
+        listing = logged_in_client.get("/hedc/catalogs")
+        assert listing.status == 200
+        assert "standard" in listing.text
+        page = logged_in_client.get(f"/hedc/catalog?id={hedc.standard_catalog_id}")
+        assert page.status == 200
+        assert "/hedc/hle?id=" in page.text
+
+    def test_hle_page_issues_seven_queries(self, web_stack, logged_in_client):
+        hedc, _server, events = web_stack
+        hedc.dm.io.stats.reset()
+        response = logged_in_client.get(f"/hedc/hle?id={events[0]['hle_id']}")
+        assert response.status == 200
+        # §7.2: on average seven DM queries per request (the page proper;
+        # name-mapping's second hop counts within them).
+        assert hedc.dm.io.stats.queries == 7
+
+    def test_hle_page_contains_event_fields(self, web_stack, logged_in_client):
+        _hedc, _server, events = web_stack
+        response = logged_in_client.get(f"/hedc/hle?id={events[0]['hle_id']}")
+        assert events[0]["kind"] in response.text
+        assert "similar events" in response.text
+
+    def test_missing_hle_id_is_400(self, logged_in_client):
+        assert logged_in_client.get("/hedc/hle").status == 400
+        assert logged_in_client.get("/hedc/hle?id=abc").status == 400
+
+    def test_unknown_hle_is_500_entity_error(self, logged_in_client):
+        assert logged_in_client.get("/hedc/hle?id=99999").status == 500
+
+    def test_search_by_kind_and_rate(self, web_stack, logged_in_client):
+        _hedc, _server, events = web_stack
+        kind = events[0]["kind"]
+        response = logged_in_client.get(f"/hedc/search?kind={kind}")
+        assert response.status == 200
+        assert f"/hedc/hle?id={events[0]['hle_id']}" in response.text
+
+    def test_search_with_user_sql(self, web_stack, logged_in_client):
+        _hedc, _server, _events = web_stack
+        sql = "select hle_id, title, kind, peak_rate from hle where peak_rate > 0"
+        response = logged_in_client.get("/hedc/search?sql=" + sql.replace(" ", "+"))
+        assert response.status == 200
+        assert "/hedc/hle?id=" in response.text
+
+    def test_sql_restricted_to_selects_on_domain_tables(self, web_stack, logged_in_client):
+        _hedc, _server, _events = web_stack
+        response = logged_in_client.get(
+            "/hedc/search?sql=select+login+from+admin_users"
+        )
+        assert response.status == 500  # rejected
+
+    def test_anonymous_gets_no_sql_form(self, web_stack):
+        _hedc, server, _events = web_stack
+        response = ThinClient(server).get("/hedc/search")
+        assert "textarea" not in response.text
+
+    def test_download_requires_right(self, web_stack, logged_in_client):
+        hedc, server, _events = web_stack
+        from repro.metadb import Select
+
+        unit = hedc.dm.io.execute(Select("raw_units"))[0]
+        anonymous = ThinClient(server)
+        assert anonymous.get(f"/hedc/download?item={unit['item_id']}").status == 403
+        response = logged_in_client.get(f"/hedc/download?item={unit['item_id']}")
+        assert response.status == 200
+        assert response.body[:2] == b"\x1f\x8b"  # gzipped FITS
+
+    def test_analyze_via_web_creates_analysis(self, web_stack, logged_in_client):
+        hedc, _server, events = web_stack
+        response = logged_in_client.get(
+            f"/hedc/analyze?hle={events[0]['hle_id']}&algorithm=histogram&n_bins=16"
+        )
+        assert response.status == 302
+        ana_page = logged_in_client.get(response.headers["Location"])
+        assert ana_page.status == 200
+        assert "histogram" in ana_page.text
+
+    def test_analysis_images_served_and_visible(self, web_stack, logged_in_client):
+        _hedc, _server, events = web_stack
+        result = logged_in_client.browse_hle(events[0]["hle_id"])
+        assert result.page_bytes > 500
+        # The analyze test above attached at least one image to this HLE.
+        assert result.n_images >= 1
+        assert result.image_bytes > 0
+
+    def test_static_images_cached_client_side(self, web_stack):
+        _hedc, server, _events = web_stack
+        client = ThinClient(server)
+        before = server.requests_served
+        client.get("/static/logo.pgm")
+        client.get("/static/logo.pgm")
+        assert server.requests_served == before + 1  # second hit from cache
+
+    def test_server_counts_requests_and_bytes(self, web_stack):
+        _hedc, server, _events = web_stack
+        client = ThinClient(server)
+        before = server.bytes_sent
+        client.get("/hedc/catalogs")
+        assert server.bytes_sent > before
