@@ -6,7 +6,6 @@ replicas (reads rotate across copies; eager writes keep them identical)
 and verify consistency after a mixed workload.
 """
 
-import time
 
 import pytest
 

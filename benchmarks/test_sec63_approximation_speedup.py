@@ -10,7 +10,6 @@ analysis runs on a fraction of the input.
 import time
 
 import numpy as np
-import pytest
 
 from repro.analysis import approximation_speedup, spectrogram
 from repro.metadb import Select

@@ -8,7 +8,6 @@ client "must authenticate itself only once" (one DBMS query + one
 update).
 """
 
-import pytest
 
 from repro.web import ThinClient
 

@@ -16,6 +16,7 @@ from typing import Any, Optional, Sequence, Union
 from ..dm import DataManager, DmRouter
 from ..filestore import DiskArchive, StorageManager, TapeArchive
 from ..metadb import Comparison, Database, Select
+from ..obs import Observability
 from ..pl import (
     AnalysisRequest,
     Frontend,
@@ -62,15 +63,20 @@ class Hedc:
         n_idl_servers: int = 1,
         persistent: bool = False,
         with_tape: bool = False,
+        obs: Optional[Observability] = None,
     ):
         self.data_dir = Path(data_dir)
+        # A private hub per deployment: every tier below shares it, so
+        # one browse yields one span tree and one instrument panel.
+        self.obs = obs if obs is not None else Observability(name="hedc")
         database = Database(
-            self.data_dir / "db" if persistent else None, name="hedc"
+            self.data_dir / "db" if persistent else None, name="hedc",
+            obs=self.obs,
         )
         storage = StorageManager(scratch_dir=self.data_dir / "scratch")
         main = DiskArchive("main", self.data_dir / "archive")
         storage.register(main)
-        self.dm = DataManager(database, storage, node_name="dm0")
+        self.dm = DataManager(database, storage, node_name="dm0", obs=self.obs)
         self.dm.io.names.ensure_archive("main", str(main.root))
         if with_tape:
             tape = TapeArchive("tape", self.data_dir / "tape")
@@ -80,11 +86,13 @@ class Hedc:
         self.routines = RoutineLibrary(self.dm)
         self.idl = IdlServerManager("server", n_servers=n_idl_servers,
                                     directory=self.directory,
-                                    routine_library=self.routines)
+                                    routine_library=self.routines,
+                                    obs=self.obs)
         self.idl.start_all()
-        self.frontend = Frontend(self.dm, self.idl, directory=self.directory)
+        self.frontend = Frontend(self.dm, self.idl, directory=self.directory,
+                                 obs=self.obs)
         self.frontend.register_strategy(UserRoutineStrategy())
-        self.web = WebServer(self.dm, frontend=self.frontend)
+        self.web = WebServer(self.dm, frontend=self.frontend, obs=self.obs)
         self.router = DmRouter()
         self.router.add_node(self.dm)
         self.synoptic: Optional[SynopticSearch] = None
@@ -244,6 +252,7 @@ class Hedc:
             self.dm.io.storage,
             node_name=f"dm{self.router.n_nodes}",
             install_schema=False,
+            obs=self.obs,
         )
         self.router.add_node(node)
         return node
@@ -258,3 +267,8 @@ class Hedc:
                 "bytes": self.web.bytes_sent,
             },
         }
+
+    def telemetry_report(self) -> dict:
+        """The obs instrument panel for this deployment (see
+        :meth:`repro.dm.DataManager.telemetry_report`)."""
+        return self.dm.telemetry_report()

@@ -14,7 +14,7 @@ from typing import Optional, Union
 
 from ..filestore import DiskArchive, StorageManager
 from ..metadb import Database
-from ..rhessi import EventDetector
+from ..obs import Observability, resolve as resolve_obs
 from ..schema import install_all
 from ..security import User, UserManager
 from .io_layer import IoLayer
@@ -35,16 +35,19 @@ class DataManager:
         node_name: str = "dm0",
         install_schema: bool = True,
         pool_open_cost_s: float = 0.0,
+        obs: Optional[Observability] = None,
     ):
         self.node_name = node_name
+        self.obs = obs if obs is not None else resolve_obs(getattr(database, "obs", None))
         if install_schema:
             install_all(database)
-        self.io = IoLayer(database, storage, pool_open_cost_s=pool_open_cost_s)
+        self.io = IoLayer(database, storage, pool_open_cost_s=pool_open_cost_s,
+                          obs=self.obs)
         self.users = UserManager(database)
         self.import_user = self.users.ensure_import_user()
         self.semantic = SemanticLayer(self.io)
         self.process = ProcessLayer(self.io, self.semantic, self.import_user)
-        self.sessions = SessionCache()
+        self.sessions = SessionCache(obs=self.obs)
         self.queries = PredefinedQueries(self.io)
         self.reports = Reports(self.io)
         self.maintenance = MaintenanceService(self.io, self.semantic)
@@ -57,6 +60,7 @@ class DataManager:
         data_dir: Union[str, Path],
         node_name: str = "dm0",
         persistent: bool = False,
+        obs: Optional[Observability] = None,
     ) -> "DataManager":
         """A self-contained node: one disk archive, fresh database.
 
@@ -65,11 +69,12 @@ class DataManager:
         the HEDC server".
         """
         data_dir = Path(data_dir)
-        database = Database(data_dir / "db" if persistent else None, name=node_name)
+        database = Database(data_dir / "db" if persistent else None, name=node_name,
+                            obs=obs)
         storage = StorageManager(scratch_dir=data_dir / "scratch")
         archive = DiskArchive("main", data_dir / "archive")
         storage.register(archive)
-        dm = cls(database, storage, node_name=node_name)
+        dm = cls(database, storage, node_name=node_name, obs=obs)
         dm.io.names.ensure_archive("main", str(archive.root))
         return dm
 
@@ -94,4 +99,50 @@ class DataManager:
                 "hits": self.sessions.hits,
                 "misses": self.sessions.misses,
             },
+        }
+
+    def telemetry_report(self) -> dict:
+        """The admin's instrument panel: per-tier highlights computed
+        from the obs registry, plus the full metric snapshot."""
+        registry = self.obs.registry
+
+        def _quantiles(name: str, **labels) -> dict:
+            histogram = registry.get(name, **labels)
+            if histogram is None or not getattr(histogram, "count", 0):
+                return {"count": 0, "p50_s": 0.0, "p95_s": 0.0, "p99_s": 0.0}
+            return {
+                "count": histogram.count,
+                "p50_s": histogram.quantile(0.50),
+                "p95_s": histogram.quantile(0.95),
+                "p99_s": histogram.quantile(0.99),
+            }
+
+        pool_waits = {
+            pool.name: {
+                "acquisitions": pool.acquisitions,
+                "waits": pool.waits,
+            }
+            for pool in (self.io.pools.queries, self.io.pools.updates,
+                         self.io.pools.auth)
+        }
+        return {
+            "node": self.node_name,
+            "tracing_enabled": self.obs.enabled,
+            "db": {
+                "queries": self.io.default_database.stats.queries,
+                "latency": _quantiles("metadb.query_s",
+                                      db=self.io.default_database.name, op="select"),
+                "wal_fsyncs": registry.value("metadb.wal.fsyncs"),
+            },
+            "pools": pool_waits,
+            "sessions": {
+                "size": self.sessions.size,
+                "hit_ratio": self.sessions.hit_ratio,
+                "creations": self.sessions.creations,
+            },
+            "name_mapping": {
+                "lookups": registry.family_total("dm.name_mapping.lookups"),
+            },
+            "io": self.io.stats.snapshot(),
+            "metrics": registry.snapshot(),
         }

@@ -15,10 +15,12 @@ data accesses happen through this layer."  It owns:
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Any, Optional, Union
 
 from ..filestore import StorageManager
+from ..obs import Observability, resolve as resolve_obs
 from ..metadb import (
     Aggregate,
     Database,
@@ -69,11 +71,13 @@ class IoLayer:
         storage: StorageManager,
         pool_open_cost_s: float = 0.0,
         translate_through_sql: bool = True,
+        obs: Optional[Observability] = None,
     ):
         self._databases: dict[str, Database] = {"default": default_db}
         self._routes: dict[str, str] = {}  # table name -> database key
         self.storage = storage
-        self.pools = PoolSet(default_db, open_cost_s=pool_open_cost_s)
+        self.obs = resolve_obs(obs)
+        self.pools = PoolSet(default_db, open_cost_s=pool_open_cost_s, obs=self.obs)
         self.stats = IoStats()
         #: When True, collection objects are rendered to SQL text and
         #: re-parsed before execution — the faithful §5.4 pipeline.  The
@@ -81,7 +85,7 @@ class IoLayer:
         #: rewriting happen "without system downtime".
         self.translate_through_sql = translate_through_sql
         # Last: the mapper issues counted queries through this layer.
-        self.names = NameMapper(self)
+        self.names = NameMapper(self, obs=self.obs)
         self.stats.reset()
 
     # -- partitioning ------------------------------------------------------
@@ -118,9 +122,18 @@ class IoLayer:
             statement = parse_sql(to_sql(statement))
         if isinstance(statement, Select):
             self.stats.queries += 1
+            kind = "query"
         else:
             self.stats.edits += 1
-        return database.execute(statement, tx=tx)
+            kind = "edit"
+        obs = self.obs
+        if not obs.enabled:
+            return database.execute(statement, tx=tx)
+        started = time.perf_counter()
+        with obs.span("dm.query", table=statement.table, kind=kind):
+            result = database.execute(statement, tx=tx)
+        obs.observe("dm.query_s", time.perf_counter() - started, kind=kind)
+        return result
 
     @staticmethod
     def _translatable(statement: Statement) -> bool:
@@ -146,17 +159,23 @@ class IoLayer:
     def store_payload(
         self, rel_path: str, payload: bytes, prefer_archive: Optional[str] = None
     ):
-        item = self.storage.place(rel_path, payload, prefer=prefer_archive)
+        with self.obs.span("dm.io.write", path=rel_path):
+            item = self.storage.place(rel_path, payload, prefer=prefer_archive)
         self.stats.files_written += 1
         self.stats.bytes_written += len(payload)
+        self.obs.count("dm.io.files_written")
+        self.obs.count("dm.io.bytes_written", len(payload))
         return item
 
     def read_item(self, resolved: ResolvedName) -> bytes:
         """Read bytes for a constructed filename."""
         archive_id = self._archive_for_root(resolved.root)
-        payload = self.storage.retrieve(archive_id, resolved.path)
+        with self.obs.span("dm.io.read", path=resolved.path):
+            payload = self.storage.retrieve(archive_id, resolved.path)
         self.stats.files_read += 1
         self.stats.bytes_read += len(payload)
+        self.obs.count("dm.io.files_read")
+        self.obs.count("dm.io.bytes_read", len(payload))
         return payload
 
     def local_path(self, resolved: ResolvedName) -> Path:

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Optional
 
 from ..metadb import Comparison, Insert, Select, Update
+from ..obs import Observability, resolve as resolve_obs
 
 
 class NameMappingError(Exception):
@@ -57,8 +58,13 @@ class NameMapper:
     the "two extra database queries" of §4.3).
     """
 
-    def __init__(self, executor):
+    def __init__(self, executor, obs: Optional[Observability] = None):
         self._db = executor
+        self.obs = resolve_obs(obs)
+        self._lookup_counters = {
+            kind: self.obs.counter("dm.name_mapping.lookups", kind=kind)
+            for kind in ("file", "tuple", "url")
+        }
 
     def _allocate(self, table: str, column: str) -> int:
         # IoLayer exposes database_for; a bare Database allocates directly.
@@ -148,6 +154,11 @@ class NameMapper:
 
     def resolve_files(self, item_id: str, role: Optional[str] = None) -> list[ResolvedName]:
         """Construct filenames for an item — the two indexed queries."""
+        self._lookup_counters["file"].inc()
+        with self.obs.span("dm.name_mapping", item=item_id):
+            return self._resolve_files(item_id, role)
+
+    def _resolve_files(self, item_id: str, role: Optional[str]) -> list[ResolvedName]:
         entries = self._db.execute(
             Select("loc_files", where=Comparison("item_id", "=", item_id))
         )
@@ -174,6 +185,7 @@ class NameMapper:
         return resolved
 
     def resolve_tuple(self, item_id: str) -> list[ResolvedName]:
+        self._lookup_counters["tuple"].inc()
         entries = self._db.execute(
             Select("loc_tuples", where=Comparison("item_id", "=", item_id))
         )
@@ -183,6 +195,7 @@ class NameMapper:
         ]
 
     def resolve_urls(self, item_id: str) -> list[ResolvedName]:
+        self._lookup_counters["url"].inc()
         entries = self._db.execute(
             Select("loc_urls", where=Comparison("item_id", "=", item_id))
         )

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..metadb import Aggregate, Comparison, Insert, QueryError, Select, parse
-from ..security import AuthError, User, scoped_where
+from ..security import User, scoped_where
 from .io_layer import IoLayer
 
 #: Domain tables predefined queries may target (visibility applies).

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from ..obs import Observability, resolve as resolve_obs
 from ..security import User
 
 SESSION_KINDS = ("hle", "ana", "catalog")
@@ -48,14 +49,30 @@ class Session:
 class SessionCache:
     """Per-user session cache, three kinds per user, LRU-evicted."""
 
-    def __init__(self, max_users: int = 256, ttl_s: float = 3600.0):
+    def __init__(self, max_users: int = 256, ttl_s: float = 3600.0,
+                 obs: Optional[Observability] = None):
         self._sessions: dict[tuple[int, str], Session] = {}
         self._by_cookie: dict[str, tuple[int, str]] = {}
         self.max_users = max_users
         self.ttl_s = ttl_s
+        self.obs = resolve_obs(obs)
         self.hits = 0
         self.misses = 0
         self.creations = 0
+        self._event_counters = {
+            event: self.obs.counter(f"dm.sessions.{event}")
+            for event in ("hits", "misses", "creations")
+        }
+        self._size_gauge = self.obs.gauge("dm.sessions.size")
+
+    def _record(self, event: str) -> None:
+        self._event_counters[event].inc()
+        self._size_gauge.set(len(self._sessions))
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def _expired(self, session: Session) -> bool:
         return time.time() - session.last_used_at > self.ttl_s
@@ -66,11 +83,14 @@ class SessionCache:
         session = self._sessions.get(key)
         if session is None or self._expired(session):
             self.misses += 1
+            self._record("misses")
             return None
         if session.client_ip != client_ip or session.cookie != cookie:
             self.misses += 1
+            self._record("misses")
             return None
         self.hits += 1
+        self._record("hits")
         session.touch()
         return session
 
@@ -89,6 +109,7 @@ class SessionCache:
         self._sessions[(user.user_id, kind)] = session
         self._by_cookie[cookie] = (user.user_id, kind)
         self.creations += 1
+        self._record("creations")
         return session
 
     def get_or_create(self, user: User, kind: str, client_ip: str,
@@ -99,6 +120,7 @@ class SessionCache:
                 return session
         else:
             self.misses += 1
+            self._record("misses")
         return self.create(user, kind, client_ip)
 
     def by_cookie(self, cookie: str) -> Optional[Session]:

@@ -23,7 +23,6 @@ the 20-request window was kept full; the model follows both regimes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..simkit import FcfsServer, Simulator, Tally, spawn
 from .calibration import (

@@ -11,7 +11,7 @@ Implements the parts of the FITS standard RHESSI data needs:
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -10,12 +10,15 @@ lifecycle states and failure modes the manager must cope with.
 
 from __future__ import annotations
 
+import contextvars
 import enum
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from ..obs import Observability, resolve as resolve_obs
 from ..rhessi.photons import PhotonList
 from .interpreter import IdlResourceError, IdlRuntimeError, Interpreter
 from .ssw import SswLibrary
@@ -57,11 +60,13 @@ class IdlServer:
         default_timeout_s: Optional[float] = None,
         fault_hook: Optional[Callable[[], None]] = None,
         on_start: Optional[Callable[[Interpreter], None]] = None,
+        obs: Optional[Observability] = None,
     ):
         self.name = name
         self.step_budget = step_budget
         self.default_timeout_s = default_timeout_s
         self.fault_hook = fault_hook
+        self.obs = resolve_obs(obs)
         #: Called with the fresh interpreter on every (re)start — the PL
         #: uses it to load published user routines into the session.
         self.on_start = on_start
@@ -95,6 +100,7 @@ class IdlServer:
         self.stop()
         self.start()
         self.restarts += 1
+        self.obs.count("idl.restarts", server=self.name)
 
     @property
     def available(self) -> bool:
@@ -115,6 +121,18 @@ class IdlServer:
         A resource-drain (step/deadline) failure marks the server CRASHED;
         an ordinary runtime error leaves it READY.
         """
+        started = time.perf_counter()
+        with self.obs.span("idl.invoke", server=self.name) as span:
+            result = self._invoke(source, timeout_s)
+            span.set_tag("ok", result.ok)
+        self.obs.observe("idl.invoke_s", time.perf_counter() - started,
+                         server=self.name)
+        self.obs.count("idl.invocations", server=self.name)
+        if not result.ok:
+            self.obs.count("idl.failures", server=self.name)
+        return result
+
+    def _invoke(self, source: str, timeout_s: Optional[float]) -> InvocationResult:
         with self._lock:
             if self.state is not ServerState.READY:
                 raise IdlServerError(f"server {self.name} is {self.state.value}")
@@ -161,12 +179,18 @@ class IdlServer:
     def invoke_async(
         self, source: str, timeout_s: Optional[float] = None
     ) -> "Future[InvocationResult]":
-        """Run IDL source on a worker thread; returns a future."""
+        """Run IDL source on a worker thread; returns a future.
+
+        The caller's tracing context is carried into the worker, so the
+        asynchronous ``idl.invoke`` span still nests under the request
+        span that scheduled it.
+        """
         future: Future[InvocationResult] = Future()
+        ctx = contextvars.copy_context()
 
         def worker() -> None:
             try:
-                future.set_result(self.invoke(source, timeout_s=timeout_s))
+                future.set_result(ctx.run(self.invoke, source, timeout_s=timeout_s))
             except Exception as exc:
                 future.set_exception(exc)
 

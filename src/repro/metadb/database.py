@@ -10,9 +10,11 @@ and keeps the operation counters the evaluation harness reports
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 from typing import Any, Optional, Union
 
+from ..obs import Observability, resolve as resolve_obs
 from .errors import ClosedError, IntegrityError, SchemaError, TransactionError
 from .query import Delete, Insert, Select, Update, execute_select, plan_select
 from .schema import TableSchema
@@ -64,7 +66,8 @@ class Database:
     persistence with snapshot/journal recovery on open.
     """
 
-    def __init__(self, path: Optional[Union[str, Path]] = None, name: str = "metadb"):
+    def __init__(self, path: Optional[Union[str, Path]] = None, name: str = "metadb",
+                 obs: Optional[Observability] = None):
         self.name = name
         self._lock = threading.RLock()
         self._tables: dict[str, Table] = {}
@@ -72,9 +75,10 @@ class Database:
         self._next_tx_id = 1
         self._sequences: dict[tuple[str, str], int] = {}
         self.stats = DatabaseStats()
+        self.obs = resolve_obs(obs)
         self._journal: Optional[Journal] = None
         if path is not None:
-            self._journal = Journal(Path(path))
+            self._journal = Journal(Path(path), obs=self.obs)
             self._recover()
 
     # -- lifecycle ------------------------------------------------------------
@@ -283,6 +287,17 @@ class Database:
         """
         if isinstance(statement, str):
             statement = parse(statement)
+        obs = self.obs
+        if not obs.enabled:
+            return self._execute_statement(statement, tx)
+        op = type(statement).__name__.lower()
+        started = time.perf_counter()
+        with obs.span("metadb.execute", db=self.name, op=op, table=statement.table):
+            result = self._execute_statement(statement, tx)
+        obs.observe("metadb.query_s", time.perf_counter() - started, db=self.name, op=op)
+        return result
+
+    def _execute_statement(self, statement: Statement, tx: Optional[Transaction]) -> Any:
         with self._lock:
             self._require_open()
             if tx is not None and tx.state is not TxState.ACTIVE:

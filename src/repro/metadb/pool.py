@@ -14,6 +14,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Optional, Union
 
+from ..obs import Observability, resolve as resolve_obs
 from .database import Database
 from .errors import ClosedError, LockTimeout
 from .sql import Statement
@@ -80,12 +81,14 @@ class ConnectionPool:
         size: int = 8,
         open_cost_s: float = 0.0,
         name: str = "pool",
+        obs: Optional[Observability] = None,
     ):
         if size < 1:
             raise ValueError("pool size must be >= 1")
         self._database = database
         self.size = size
         self.name = name
+        self.obs = resolve_obs(obs)
         self._open_cost_s = open_cost_s
         self._idle: deque[Connection] = deque()
         self._created = 0
@@ -94,8 +97,21 @@ class ConnectionPool:
         self._closed = False
         self.acquisitions = 0
         self.waits = 0
+        # Metric handles resolved once: acquire() is on every query path.
+        self._acquire_wait = self.obs.histogram(
+            "metadb.pool.acquire_wait_s", pool=self.name
+        )
+        self._wait_counter = self.obs.counter("metadb.pool.waits", pool=self.name)
+        self._opened_counter = self.obs.counter("metadb.pool.opened", pool=self.name)
 
     def acquire(self, timeout: Optional[float] = None) -> Connection:
+        with self.obs.span("pool.acquire", pool=self.name):
+            started = time.perf_counter()
+            connection = self._acquire(timeout)
+            self._acquire_wait.observe(time.perf_counter() - started)
+            return connection
+
+    def _acquire(self, timeout: Optional[float]) -> Connection:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._available:
             while True:
@@ -108,6 +124,7 @@ class ConnectionPool:
                     self._created += 1
                     break
                 self.waits += 1
+                self._wait_counter.inc()
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     raise LockTimeout(f"pool {self.name!r} exhausted")
@@ -115,6 +132,7 @@ class ConnectionPool:
                     raise LockTimeout(f"pool {self.name!r} exhausted")
         # Create outside the lock: opening can be slow.
         connection = Connection(self._database, open_cost_s=self._open_cost_s)
+        self._opened_counter.inc()
         with self._available:
             self.acquisitions += 1
         return connection
@@ -158,10 +176,15 @@ class PoolSet:
         update_size: int = 4,
         auth_size: int = 2,
         open_cost_s: float = 0.0,
+        obs: Optional[Observability] = None,
     ):
-        self.queries = ConnectionPool(database, query_size, open_cost_s, name="queries")
-        self.updates = ConnectionPool(database, update_size, open_cost_s, name="updates")
-        self.auth = ConnectionPool(database, auth_size, open_cost_s, name="auth")
+        obs = resolve_obs(obs)
+        self.queries = ConnectionPool(database, query_size, open_cost_s,
+                                      name="queries", obs=obs)
+        self.updates = ConnectionPool(database, update_size, open_cost_s,
+                                      name="updates", obs=obs)
+        self.auth = ConnectionPool(database, auth_size, open_cost_s,
+                                   name="auth", obs=obs)
 
     def close(self) -> None:
         self.queries.close()

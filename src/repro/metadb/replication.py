@@ -20,8 +20,10 @@ the paper's change-absorption story requires.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Optional, Union
 
+from ..obs import Observability, resolve as resolve_obs
 from .database import Database, DatabaseStats
 from .errors import SchemaError, TransactionError
 from .query import Delete, Insert, Select, Update
@@ -77,12 +79,13 @@ class ReplicatedDatabase:
     copies, multiplying read capacity.
     """
 
-    def __init__(self, primary: Database):
+    def __init__(self, primary: Database, obs: Optional[Observability] = None):
         self.primary = primary
         self.replicas: list[Database] = []
         self._read_cursor = 0
         self._lock = threading.Lock()
         self.stats = DatabaseStats()
+        self.obs = resolve_obs(obs)
         self.reads_by_copy: dict[str, int] = {primary.name: 0}
 
     # -- topology ------------------------------------------------------------
@@ -96,11 +99,15 @@ class ReplicatedDatabase:
         with self._lock:
             self.replicas.append(replica)
             self.reads_by_copy[replica.name] = 0
+        self.obs.set_gauge("metadb.replication.replicas", len(self.replicas),
+                           db=self.primary.name)
         return replica
 
     def remove_replica(self, replica: Database) -> None:
         with self._lock:
             self.replicas.remove(replica)
+        self.obs.set_gauge("metadb.replication.replicas", len(self.replicas),
+                           db=self.primary.name)
 
     @property
     def n_copies(self) -> int:
@@ -171,8 +178,20 @@ class ReplicatedDatabase:
         local_tx = tx or self.begin()
         result: Any = None
         try:
+            primary_done = None
             for copy, part in local_tx.parts:
                 result = copy.execute(statement, tx=part)
+                if primary_done is None:
+                    primary_done = time.perf_counter()
+            if self.replicas and primary_done is not None:
+                # Eager replication: "lag" is how long the replicas trail
+                # the primary within one synchronous write.
+                lag_s = time.perf_counter() - primary_done
+                self.obs.observe("metadb.replication.apply_s", lag_s,
+                                 db=self.primary.name)
+                self.obs.set_gauge("metadb.replication.lag_s", lag_s,
+                                   db=self.primary.name)
+                self.obs.count("metadb.replication.writes", db=self.primary.name)
         except Exception:
             if autocommit:
                 self.rollback(local_tx)

@@ -15,6 +15,8 @@ import os
 from pathlib import Path
 from typing import Any, Iterator, Optional
 
+from ..obs import Observability, resolve as resolve_obs
+
 
 def _encode_value(value: Any) -> Any:
     if isinstance(value, bytes):
@@ -39,12 +41,17 @@ def _decode_row(row: dict[str, Any]) -> dict[str, Any]:
 class Journal:
     """Append-only journal of committed transactions."""
 
-    def __init__(self, directory: Path):
+    def __init__(self, directory: Path, obs: Optional[Observability] = None):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.journal_path = self.directory / "journal.jsonl"
         self.snapshot_path = self.directory / "snapshot.json"
         self._handle = None
+        self.obs = resolve_obs(obs)
+
+    def _fsync(self, handle) -> None:
+        os.fsync(handle.fileno())
+        self.obs.count("metadb.wal.fsyncs")
 
     # -- writing -------------------------------------------------------------
 
@@ -66,14 +73,15 @@ class Journal:
             encoded.append(record)
         handle.write(json.dumps({"tx": tx_id, "records": encoded}) + "\n")
         handle.flush()
-        os.fsync(handle.fileno())
+        self._fsync(handle)
+        self.obs.count("metadb.wal.records", len(encoded))
 
     def append_ddl(self, record: dict[str, Any]) -> None:
         """Record a schema change (CREATE/DROP TABLE)."""
         handle = self._open_handle()
         handle.write(json.dumps({"ddl": record}) + "\n")
         handle.flush()
-        os.fsync(handle.fileno())
+        self._fsync(handle)
 
     # -- checkpointing ---------------------------------------------------------
 
@@ -93,12 +101,13 @@ class Journal:
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
             handle.flush()
-            os.fsync(handle.fileno())
+            self._fsync(handle)
         os.replace(tmp_path, self.snapshot_path)
         self.close()
         with open(self.journal_path, "w", encoding="utf-8") as handle:
             handle.flush()
-            os.fsync(handle.fileno())
+            self._fsync(handle)
+        self.obs.count("metadb.wal.checkpoints")
 
     # -- recovery ------------------------------------------------------------
 

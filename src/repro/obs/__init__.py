@@ -1,0 +1,73 @@
+"""repro.obs — tracing and metrics for the whole repository.
+
+The paper's operators could only reason about the "moving target"
+because the middle tier was measurable (§7); this package makes every
+tier of the reproduction measurable the same way:
+
+* :class:`MetricsRegistry` with :class:`Counter`/:class:`Gauge`/
+  :class:`Histogram` (streaming p50/p95/p99);
+* :class:`Tracer` producing nested per-request span trees with
+  contextvars propagation across threads;
+* exporters (in-memory, line protocol, JSON snapshot);
+* the :func:`instrument` decorator and :class:`Observability` hub that
+  components thread through the tiers (``web`` → ``dm`` → ``metadb``,
+  ``pl`` → ``idl``, ``streamcorder``).
+
+Tracing is off by default (``Observability.enabled``); metrics always
+collect, cheaply.  ``/hedc/metrics`` renders a deployment's registry and
+:meth:`repro.dm.DataManager.telemetry_report` summarises it.
+"""
+
+from .export import (
+    InMemoryExporter,
+    JsonExporter,
+    LineProtocolExporter,
+    to_json_snapshot,
+    to_line_protocol,
+)
+from .hub import (
+    DEFAULT,
+    Observability,
+    Timed,
+    disable,
+    enable,
+    get_default,
+    resolve,
+)
+from .instrument import instrument, timed
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    default_latency_buckets,
+)
+from .trace import NULL_SPAN, NULL_SPAN_CONTEXT, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT",
+    "Gauge",
+    "Histogram",
+    "InMemoryExporter",
+    "JsonExporter",
+    "LineProtocolExporter",
+    "Metric",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NULL_SPAN_CONTEXT",
+    "Observability",
+    "Span",
+    "Timed",
+    "Tracer",
+    "default_latency_buckets",
+    "disable",
+    "enable",
+    "get_default",
+    "instrument",
+    "resolve",
+    "timed",
+    "to_json_snapshot",
+    "to_line_protocol",
+]

@@ -1,0 +1,103 @@
+"""Pluggable exporters over the registry (and optionally the tracer).
+
+Three targets, matching the three consumers the repo actually has:
+
+* :class:`InMemoryExporter` — tests and the benchmark harness pull
+  structured snapshots;
+* :func:`to_line_protocol` / :class:`LineProtocolExporter` — an
+  influx-style text dump, which is also what the ``/hedc/metrics``
+  servlet serves;
+* :func:`to_json_snapshot` / :class:`JsonExporter` — a JSON snapshot
+  including recent span trees, for machine consumption.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from .metrics import Histogram, MetricsRegistry
+from .trace import Tracer
+
+
+def _escape(value: str) -> str:
+    return str(value).replace(" ", "\\ ").replace(",", "\\,").replace("=", "\\=")
+
+
+def _series_name(name: str, labels: dict[str, str]) -> str:
+    if not labels:
+        return _escape(name)
+    tags = ",".join(f"{_escape(k)}={_escape(v)}" for k, v in sorted(labels.items()))
+    return f"{_escape(name)},{tags}"
+
+
+def to_line_protocol(registry: MetricsRegistry) -> str:
+    """Render every metric as one line: ``name,label=v field=value ...``."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        series = _series_name(metric.name, metric.labels)
+        if isinstance(metric, Histogram):
+            fields = (
+                f"count={metric.count}i,sum={metric.sum:.9f},"
+                f"mean={metric.mean:.9f},p50={metric.quantile(0.5):.9f},"
+                f"p95={metric.quantile(0.95):.9f},p99={metric.quantile(0.99):.9f}"
+            )
+            if metric.min is not None:
+                fields += f",min={metric.min:.9f},max={metric.max:.9f}"
+        else:
+            value = metric.value
+            fields = f"value={value}i" if isinstance(value, int) else f"value={value}"
+        lines.append(f"{series} {fields}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json_snapshot(
+    registry: MetricsRegistry, tracer: Optional[Tracer] = None, max_traces: int = 32
+) -> dict[str, Any]:
+    """A JSON-ready snapshot of every metric plus recent span trees."""
+    snapshot: dict[str, Any] = {"metrics": registry.snapshot()}
+    if tracer is not None:
+        snapshot["traces"] = [
+            span.to_dict() for span in tracer.finished_spans()[-max_traces:]
+        ]
+    return snapshot
+
+
+class InMemoryExporter:
+    """Collects structured snapshots — the test/benchmark exporter."""
+
+    def __init__(self) -> None:
+        self.snapshots: list[dict[str, Any]] = []
+
+    def export(self, registry: MetricsRegistry, tracer: Optional[Tracer] = None) -> dict:
+        snapshot = to_json_snapshot(registry, tracer)
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    @property
+    def latest(self) -> Optional[dict[str, Any]]:
+        return self.snapshots[-1] if self.snapshots else None
+
+
+class LineProtocolExporter:
+    """Renders line-protocol text, optionally appending to a file."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+
+    def export(self, registry: MetricsRegistry) -> str:
+        text = to_line_protocol(registry)
+        if self.path is not None:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+
+class JsonExporter:
+    """Renders a JSON snapshot string (metrics + recent traces)."""
+
+    def __init__(self, indent: Optional[int] = None) -> None:
+        self.indent = indent
+
+    def export(self, registry: MetricsRegistry, tracer: Optional[Tracer] = None) -> str:
+        return json.dumps(to_json_snapshot(registry, tracer), indent=self.indent)

@@ -1,0 +1,134 @@
+"""The observability hub: one registry + one tracer + one switch.
+
+Every component accepts an optional ``obs`` argument and defaults to the
+process-wide hub, so ad-hoc assemblies share one instrument panel while
+a full :class:`~repro.core.Hedc` deployment owns a private hub and
+threads it through all three tiers.
+
+Cost model: **metrics are always on** (a counter increment or histogram
+observation is a lock plus an add — negligible next to a DM query),
+while **tracing is off by default** — :meth:`Observability.span` returns
+a reusable no-op context manager until :meth:`enable` is called, so the
+default-off overhead on the request path stays unmeasurable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional, Sequence
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import NULL_SPAN_CONTEXT, Span, Tracer
+
+
+class Timed:
+    """Context manager that always feeds a histogram and, when tracing
+    is enabled, also opens a same-named span.  Exposes ``elapsed_s``."""
+
+    __slots__ = ("_hub", "_name", "_labels", "_span_cm", "_started", "elapsed_s", "span")
+
+    def __init__(self, hub: "Observability", name: str, labels: dict[str, str]):
+        self._hub = hub
+        self._name = name
+        self._labels = labels
+        self._span_cm = None
+        self.elapsed_s: float = 0.0
+        self.span = None
+
+    def __enter__(self) -> "Timed":
+        if self._hub.enabled:
+            self._span_cm = self._hub.tracer.span(self._name, **self._labels)
+            self.span = self._span_cm.__enter__()
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.elapsed_s = time.perf_counter() - self._started
+        self._hub.registry.histogram(self._name, **self._labels).observe(self.elapsed_s)
+        if self._span_cm is not None:
+            return bool(self._span_cm.__exit__(exc_type, exc, tb))
+        return False
+
+
+class Observability:
+    """A registry, a tracer, and the enabled switch binding them."""
+
+    def __init__(self, enabled: bool = False, max_finished_spans: int = 256,
+                 name: str = "obs"):
+        self.name = name
+        self.enabled = enabled
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(max_finished=max_finished_spans, name=name)
+
+    # -- switch ----------------------------------------------------------------
+
+    def enable(self) -> "Observability":
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Observability":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        self.registry.reset()
+        self.tracer.reset()
+
+    # -- metric shortcuts (always on) ------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, bounds: Optional[Sequence[float]] = None,
+                  **labels: str) -> Histogram:
+        return self.registry.histogram(name, bounds=bounds, **labels)
+
+    def count(self, name: str, amount: float = 1, **labels: str) -> None:
+        self.registry.counter(name, **labels).inc(amount)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.registry.histogram(name, **labels).observe(value)
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        self.registry.gauge(name, **labels).set(value)
+
+    # -- tracing (gated by ``enabled``) ----------------------------------------
+
+    def span(self, name: str, **tags: Any):
+        """A span context manager, or a shared no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN_CONTEXT
+        return self.tracer.span(name, **tags)
+
+    def current_span(self) -> Optional[Span]:
+        return self.tracer.current() if self.enabled else None
+
+    def timed(self, name: str, **labels: str) -> Timed:
+        """Histogram timing (always) plus a span (when enabled)."""
+        return Timed(self, name, labels)
+
+
+#: The process-wide default hub; components fall back to it when no hub
+#: is passed explicitly.  Disabled (no tracing) by default.
+DEFAULT = Observability(name="default")
+
+
+def get_default() -> Observability:
+    return DEFAULT
+
+
+def resolve(obs: Optional[Observability]) -> Observability:
+    """The hub to use: the explicit one, or the process default."""
+    return obs if obs is not None else DEFAULT
+
+
+def enable() -> Observability:
+    """Switch the process-default hub's tracing on."""
+    return DEFAULT.enable()
+
+
+def disable() -> Observability:
+    return DEFAULT.disable()

@@ -1,0 +1,51 @@
+"""Instrumentation hooks: a decorator and an explicit timer.
+
+``@instrument("dm.query")`` is the declarative form; ``timed(obs, ...)``
+is the explicit hook for call sites that need the elapsed time back
+(the thin client's browse loop keeps reporting ``elapsed_s``).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional, TypeVar
+
+from .hub import Observability, Timed, resolve
+
+F = TypeVar("F", bound=Callable)
+
+
+def instrument(
+    name: Optional[str] = None,
+    obs: Optional[Observability] = None,
+    **labels: str,
+) -> Callable[[F], F]:
+    """Time every call as a histogram observation (and a span when the
+    hub has tracing enabled).
+
+    The hub is resolved per call: with ``obs=None`` the decorated
+    function follows the process default, and instances carrying a
+    ``self.obs`` hub report there instead.
+    """
+
+    def decorator(fn: F) -> F:
+        metric_name = name or f"fn.{fn.__qualname__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            hub = obs
+            if hub is None and args:
+                hub = getattr(args[0], "obs", None)
+                if not isinstance(hub, Observability):
+                    hub = None
+            with resolve(hub).timed(metric_name, **labels):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorator
+
+
+def timed(obs: Optional[Observability], name: str, **labels: str) -> Timed:
+    """Explicit hook: ``with timed(obs, "client.browse_s") as t: ...``."""
+    return resolve(obs).timed(name, **labels)

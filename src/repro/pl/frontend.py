@@ -11,12 +11,14 @@ given time"), and supports cancellation with per-phase cleanup.
 
 from __future__ import annotations
 
+import contextvars
 import heapq
 import itertools
 import threading
 import time
 from typing import Optional
 
+from ..obs import Observability, resolve as resolve_obs
 from .animation import AnimationStrategy
 from .directory import GlobalDirectory
 from .manager import IdlServerManager
@@ -46,15 +48,19 @@ class Frontend:
         node_name: str = "server",
         max_in_flight: int = 20,
         n_workers: int = 0,
+        obs: Optional[Observability] = None,
     ):
         self.dm = dm
+        self.obs = obs if obs is not None else resolve_obs(getattr(dm, "obs", None))
         self.context = StrategyContext(dm, idl_manager, node_name=node_name)
         self.directory = directory or GlobalDirectory()
         self.directory.register(f"frontend:{node_name}", "frontend", node_name)
         self.strategies: dict[str, AnalysisStrategy] = dict(DEFAULT_STRATEGIES)
         self.strategies[AnimationStrategy.algorithm] = AnimationStrategy()
         self.max_in_flight = max_in_flight
-        self._queue: list[tuple[int, int, AnalysisRequest]] = []
+        self._queue: list[
+            tuple[int, int, AnalysisRequest, Optional[contextvars.Context]]
+        ] = []
         self._ticket = itertools.count()
         self._queue_lock = threading.Lock()
         self._queue_ready = threading.Condition(self._queue_lock)
@@ -93,6 +99,17 @@ class Frontend:
 
     def run(self, request: AnalysisRequest, estimate: bool = False) -> AnalysisRequest:
         """Run the phases in order, synchronously."""
+        started = time.perf_counter()
+        with self.obs.span("pl.run", algorithm=request.algorithm) as span:
+            result = self._run_phases(request, estimate)
+            span.set_tag("phase", result.phase.name.lower())
+        self.obs.observe("pl.request_s", time.perf_counter() - started,
+                         algorithm=request.algorithm)
+        self.obs.count("pl.requests", algorithm=request.algorithm,
+                       phase=result.phase.name.lower())
+        return result
+
+    def _run_phases(self, request: AnalysisRequest, estimate: bool) -> AnalysisRequest:
         strategy = self._strategy_for(request)
         try:
             if estimate:
@@ -124,11 +141,20 @@ class Frontend:
     # -- queued/asynchronous path ----------------------------------------------------
 
     def submit(self, request: AnalysisRequest) -> AnalysisRequest:
-        """Enqueue under priority scheduling (needs worker threads)."""
+        """Enqueue under priority scheduling (needs worker threads).
+
+        The submitter's tracing context rides along, so a ``pl.run`` span
+        executed on a worker thread nests under the span (web request,
+        batch job) that submitted it.
+        """
         if not self._workers:
             raise RuntimeError("frontend has no workers; use run() or pass n_workers")
+        ctx = contextvars.copy_context() if self.obs.enabled else None
         with self._queue_ready:
-            heapq.heappush(self._queue, (request.priority, next(self._ticket), request))
+            heapq.heappush(
+                self._queue, (request.priority, next(self._ticket), request, ctx)
+            )
+            self.obs.set_gauge("pl.queue_depth", len(self._queue))
             self._queue_ready.notify()
         return request
 
@@ -139,13 +165,19 @@ class Frontend:
                     if self._shutdown:
                         return
                     self._queue_ready.wait(timeout=0.5)
-                _priority, _ticket, request = heapq.heappop(self._queue)
+                _priority, _ticket, request, ctx = heapq.heappop(self._queue)
                 self._in_flight += 1
+                self.obs.set_gauge("pl.queue_depth", len(self._queue))
+                self.obs.set_gauge("pl.in_flight", self._in_flight)
             try:
-                self.run(request)
+                if ctx is not None:
+                    ctx.run(self.run, request)
+                else:
+                    self.run(request)
             finally:
                 with self._queue_ready:
                     self._in_flight -= 1
+                    self.obs.set_gauge("pl.in_flight", self._in_flight)
                     self._queue_ready.notify_all()
 
     def drain(self, timeout_s: float = 60.0) -> None:

@@ -8,11 +8,14 @@ Every processing client executes one instance of this service."
 
 from __future__ import annotations
 
+import contextvars
 import threading
+import time
 from concurrent.futures import Future
 from typing import Callable, Optional
 
 from ..idl import IdlServer, InvocationResult, ServerState
+from ..obs import Observability, resolve as resolve_obs
 from ..rhessi import PhotonList
 from .directory import GlobalDirectory
 
@@ -32,10 +35,12 @@ class IdlServerManager:
         default_timeout_s: Optional[float] = None,
         fault_hook: Optional[Callable[[], None]] = None,
         routine_library=None,
+        obs: Optional[Observability] = None,
     ):
         if n_servers < 1:
             raise ValueError("need at least one IDL server")
         self.node_name = node_name
+        self.obs = resolve_obs(obs)
         self.routine_library = routine_library
         on_start = None
         if routine_library is not None:
@@ -47,6 +52,7 @@ class IdlServerManager:
                 default_timeout_s=default_timeout_s,
                 fault_hook=fault_hook,
                 on_start=on_start,
+                obs=self.obs,
             )
             for index in range(n_servers)
         ]
@@ -77,6 +83,7 @@ class IdlServerManager:
             server = IdlServer(
                 name=f"{self.node_name}/idl{len(self._servers)}",
                 on_start=self._on_start,
+                obs=self.obs,
             )
             server.start()
             self._servers.append(server)
@@ -97,6 +104,17 @@ class IdlServerManager:
                 f"idl_manager:{self.node_name}", "idl_manager", self.node_name,
                 capacity=len(self._servers),
             )
+        self.obs.set_gauge("pl.servers", len(self._servers), node=self.node_name)
+
+    def _record_recovery(self) -> None:
+        """One crash-recovery: count it and refresh the GlobalDirectory
+        registration (capacity + heartbeat) so the entry never goes stale
+        while the manager self-heals (§5.1)."""
+        self.recoveries += 1
+        self.obs.count("pl.recoveries", node=self.node_name)
+        self._update_directory_capacity()
+        if self.directory is not None:
+            self.directory.heartbeat(f"idl_manager:{self.node_name}")
 
     def broadcast_source(self, source: str) -> int:
         """Run IDL source on every READY server — hot-loading a newly
@@ -132,10 +150,11 @@ class IdlServerManager:
             for server in self._servers:
                 if server.state is ServerState.CRASHED:
                     server.restart()
-                    self.recoveries += 1
+                    self._record_recovery()
             for server in self._servers:
                 if server.available:
                     return server
+        self.obs.count("pl.no_server_available", node=self.node_name)
         raise NoServerAvailable(f"no IDL server available on {self.node_name}")
 
     # -- invocation --------------------------------------------------------------
@@ -149,6 +168,22 @@ class IdlServerManager:
     ) -> InvocationResult:
         """Run IDL source synchronously, restarting and retrying on crash."""
         self._heartbeat()
+        started = time.perf_counter()
+        with self.obs.span("pl.invoke", node=self.node_name):
+            result = self._invoke_with_retries(source, photons, timeout_s, retries)
+        self.obs.observe("pl.invoke_s", time.perf_counter() - started,
+                         node=self.node_name)
+        if not result.ok and result.error and "resource drain" in result.error:
+            self.obs.count("pl.resource_drains", node=self.node_name)
+        return result
+
+    def _invoke_with_retries(
+        self,
+        source: str,
+        photons: Optional[PhotonList],
+        timeout_s: Optional[float],
+        retries: int,
+    ) -> InvocationResult:
         attempt = 0
         while True:
             server = self._acquire()
@@ -159,7 +194,7 @@ class IdlServerManager:
                 return result
             attempt += 1
             server.restart()
-            self.recoveries += 1
+            self._record_recovery()
 
     def invoke_async(
         self,
@@ -168,10 +203,13 @@ class IdlServerManager:
         timeout_s: Optional[float] = None,
     ) -> "Future[InvocationResult]":
         future: Future = Future()
+        ctx = contextvars.copy_context()
 
         def worker() -> None:
             try:
-                future.set_result(self.invoke(source, photons=photons, timeout_s=timeout_s))
+                future.set_result(
+                    ctx.run(self.invoke, source, photons=photons, timeout_s=timeout_s)
+                )
             except Exception as exc:
                 future.set_exception(exc)
 

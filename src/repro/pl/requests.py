@@ -39,7 +39,7 @@ from ..analysis import (
     render_pgm,
     render_series_pgm,
 )
-from ..metadb import Aggregate, Comparison, Insert, Select
+from ..metadb import Comparison, Insert, Select
 from ..rhessi import PhotonList
 from ..security import User
 from .manager import IdlServerManager

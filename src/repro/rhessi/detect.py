@@ -10,7 +10,7 @@ flags threshold excursions, classifying them by hardness and duration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -16,15 +16,40 @@ from pathlib import Path
 from typing import Optional, Union
 
 from ..metadb import Comparison, Select
+from ..obs import Observability, resolve as resolve_obs
 
 
 class CacheStats:
-    """Hit/miss/byte counters shared by both cache strategies."""
+    """Hit/miss/byte counters shared by both cache strategies.
 
-    def __init__(self) -> None:
+    When bound to an obs hub the counters are mirrored into the registry
+    as ``streamcorder.cache.*`` (labelled by strategy), so the fat
+    client's cache behaviour shows up next to the server metrics.
+    """
+
+    def __init__(self, obs: Optional[Observability] = None,
+                 strategy: str = "static") -> None:
         self.hits = 0
         self.misses = 0
         self.bytes_cached = 0
+        self._obs = obs
+        self._strategy = strategy
+
+    def record_hit(self) -> None:
+        self.hits += 1
+        if self._obs is not None:
+            self._obs.count("streamcorder.cache.hits", strategy=self._strategy)
+
+    def record_miss(self, n: int = 1) -> None:
+        self.misses += n
+        if self._obs is not None:
+            self._obs.count("streamcorder.cache.misses", n, strategy=self._strategy)
+
+    def record_cached(self, n_bytes: int) -> None:
+        self.bytes_cached += n_bytes
+        if self._obs is not None:
+            self._obs.count("streamcorder.cache.bytes_cached", n_bytes,
+                            strategy=self._strategy)
 
     @property
     def hit_rate(self) -> float:
@@ -35,10 +60,11 @@ class CacheStats:
 class StaticPathCache:
     """Version 1: deterministic paths from fixed object attributes."""
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: Union[str, Path],
+                 obs: Optional[Observability] = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.stats = CacheStats()
+        self.stats = CacheStats(obs=resolve_obs(obs), strategy="static")
 
     def path_for(self, object_type: str, item_id: str, created_at: float = 0.0) -> Path:
         """The predetermined cache location for one data object."""
@@ -49,9 +75,9 @@ class StaticPathCache:
     def get(self, object_type: str, item_id: str, created_at: float = 0.0) -> Optional[bytes]:
         path = self.path_for(object_type, item_id, created_at)
         if path.exists():
-            self.stats.hits += 1
+            self.stats.record_hit()
             return path.read_bytes()
-        self.stats.misses += 1
+        self.stats.record_miss()
         return None
 
     def put(self, object_type: str, item_id: str, payload: bytes,
@@ -60,7 +86,7 @@ class StaticPathCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         if not path.exists():
             path.write_bytes(payload)
-            self.stats.bytes_cached += len(payload)
+            self.stats.record_cached(len(payload))
         return path
 
     def contains(self, object_type: str, item_id: str, created_at: float = 0.0) -> bool:
@@ -75,28 +101,32 @@ class LocalCloneCache:
     local installation *is* a server clone (same schema).
     """
 
-    def __init__(self, local_dm):
+    def __init__(self, local_dm, obs: Optional[Observability] = None):
         self.dm = local_dm
-        self.stats = CacheStats()
+        self.stats = CacheStats(
+            obs=obs if obs is not None else resolve_obs(getattr(local_dm, "obs", None)),
+            strategy="clone",
+        )
+
+    def _present(self, item_id: str) -> bool:
+        return bool(self.dm.io.execute(
+            Select("loc_files", where=Comparison("item_id", "=", item_id))
+        ))
 
     def get(self, item_id: str) -> Optional[bytes]:
-        rows = self.dm.io.execute(
-            Select("loc_files", where=Comparison("item_id", "=", item_id))
-        )
-        if not rows:
-            self.stats.misses += 1
+        if not self._present(item_id):
+            self.stats.record_miss()
             return None
         names = self.dm.io.names.resolve_files(item_id)
-        self.stats.hits += 1
+        self.stats.record_hit()
         return self.dm.io.read_item(names[0])
 
     def put(self, item_id: str, rel_path: str, payload: bytes) -> None:
-        if self.get(item_id) is not None:
+        if self._present(item_id):
             return
-        self.stats.misses -= 1  # the probe above was a placement check
         stored = self.dm.io.store_payload(rel_path, payload)
         self.dm.io.names.register_file(
             item_id, stored.archive_id, stored.rel_path,
             size_bytes=stored.size, checksum=stored.checksum,
         )
-        self.stats.bytes_cached += len(payload)
+        self.stats.record_cached(len(payload))

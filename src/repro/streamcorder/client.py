@@ -18,6 +18,7 @@ from typing import Any, Optional, Union
 
 from ..dm import DataManager
 from ..metadb import Comparison, Select
+from ..obs import Observability, resolve as resolve_obs
 from ..rhessi import PhotonList
 from ..security import User
 from .cache import LocalCloneCache, StaticPathCache
@@ -51,19 +52,23 @@ class StreamCorder:
         workdir: Union[str, Path],
         cache_strategy: str = "static",
         n_job_workers: int = 1,
+        obs: Optional[Observability] = None,
     ):
         if cache_strategy not in ("static", "clone"):
             raise ValueError("cache_strategy must be 'static' or 'clone'")
         self.server = server_dm
         self.user = user
+        self.obs = obs if obs is not None else resolve_obs(
+            getattr(server_dm, "obs", None))
         self.workdir = Path(workdir)
         self.cache_strategy = cache_strategy
-        self.static_cache = StaticPathCache(self.workdir / "cache")
+        self.static_cache = StaticPathCache(self.workdir / "cache", obs=self.obs)
         self.local_dm: Optional[DataManager] = None
         self.clone_cache: Optional[LocalCloneCache] = None
         if cache_strategy == "clone":
-            self.local_dm = DataManager.standalone(self.workdir / "clone", node_name="sc")
-            self.clone_cache = LocalCloneCache(self.local_dm)
+            self.local_dm = DataManager.standalone(
+                self.workdir / "clone", node_name="sc", obs=self.obs)
+            self.clone_cache = LocalCloneCache(self.local_dm, obs=self.obs)
         self.cordlets = CordletRegistry().load_defaults()
         self._jobs: "queue.Queue[Job]" = queue.Queue()
         self._job_counter = 0
@@ -99,9 +104,14 @@ class StreamCorder:
         view = self.server.process.get_view(unit_id)
         partition = view.partitions[0]
         payload = partition.stream.prefix(detail_levels)
-        self.downloads += 1
-        self.bytes_downloaded += len(payload)
+        self._record_download(len(payload), source="view")
         return payload, partition.stream.total_bytes
+
+    def _record_download(self, n_bytes: int, source: str) -> None:
+        self.downloads += 1
+        self.bytes_downloaded += n_bytes
+        self.obs.count("streamcorder.downloads", source=source)
+        self.obs.count("streamcorder.bytes_downloaded", n_bytes, source=source)
 
     def _cached(self, item_id: str) -> Optional[bytes]:
         if self.cache_strategy == "clone":
@@ -119,15 +129,13 @@ class StreamCorder:
         for peer in self._peers:
             peer_payload = peer._cached(item_id)
             if peer_payload is not None:
-                self.downloads += 1
-                self.bytes_downloaded += len(peer_payload)
+                self._record_download(len(peer_payload), source="peer")
                 return peer_payload
         names = self.server.io.names.resolve_files(item_id, role="data")
         if not names:
             raise KeyError(f"server has no data for {item_id!r}")
         payload = self.server.io.read_item(names[0])
-        self.downloads += 1
-        self.bytes_downloaded += len(payload)
+        self._record_download(len(payload), source="server")
         return payload
 
     # -- peer-to-peer --------------------------------------------------------------
@@ -240,4 +248,6 @@ class StreamCorder:
 
             self.local_dm.io.execute(Insert("hle", row))
             mirrored += 1
+        if mirrored:
+            self.obs.count("streamcorder.hles_mirrored", mirrored)
         return mirrored

@@ -9,10 +9,8 @@ latency and failure probability, which is what the crawler must tolerate.
 from __future__ import annotations
 
 import random
-import threading
 import time
 from dataclasses import dataclass, field
-from typing import Optional
 
 
 @dataclass(frozen=True)

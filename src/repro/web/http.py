@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import urllib.parse
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 
 @dataclass
@@ -89,6 +89,13 @@ class Router:
         self._routes.append((prefix, handler))
         # Longest prefix first so /hedc/hle wins over /hedc.
         self._routes.sort(key=lambda route: -len(route[0]))
+
+    def match(self, path: str) -> Optional[str]:
+        """The route prefix that would serve ``path``, or ``None``."""
+        for prefix, _handler in self._routes:
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/"):
+                return prefix
+        return None
 
     def dispatch(self, request: HttpRequest) -> HttpResponse:
         for prefix, handler in self._routes:

@@ -6,15 +6,21 @@ paper §2.3); :class:`ThinClient` drives the typical browse sequence of
 retrieve all its related analyses, and finally sends requests for all
 images related to these analyses" — caching static images client-side
 after the first download.
+
+Both are instrumented through :mod:`repro.obs`: the server keeps
+per-route latency histograms and status counters (``requests_served`` /
+``bytes_sent`` remain as thin properties over the obs counters), and the
+client's browse timing feeds a ``client.browse_s`` histogram instead of
+hand-rolled ``perf_counter`` bookkeeping.
 """
 
 from __future__ import annotations
 
 import re
 import time
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
+from ..obs import Observability, resolve as resolve_obs
 from .http import HttpRequest, HttpResponse, Router
 from .servlets import SESSION_COOKIE, Servlets
 
@@ -22,10 +28,12 @@ from .servlets import SESSION_COOKIE, Servlets
 class WebServer:
     """One web-server node hosting the HEDC servlets over one DM."""
 
-    def __init__(self, dm, frontend=None, name: str = "web0"):
+    def __init__(self, dm, frontend=None, name: str = "web0",
+                 obs: Observability | None = None):
         self.name = name
         self.dm = dm
-        self.servlets = Servlets(dm, frontend=frontend)
+        self.obs = obs if obs is not None else resolve_obs(getattr(dm, "obs", None))
+        self.servlets = Servlets(dm, frontend=frontend, obs=self.obs)
         self.router = Router()
         self.router.add("/static", self.servlets.static)
         self.router.add("/hedc/login", self.servlets.login)
@@ -37,16 +45,52 @@ class WebServer:
         self.router.add("/hedc/download", self.servlets.download)
         self.router.add("/hedc/search", self.servlets.search)
         self.router.add("/hedc/analyze", self.servlets.analyze)
-        self.requests_served = 0
-        self.bytes_sent = 0
+        self.router.add("/hedc/metrics", self.servlets.metrics)
+        self._requests = self.obs.counter("web.requests", server=self.name)
+        self._bytes = self.obs.counter("web.bytes_sent", server=self.name)
+        # Per-route metric handles, resolved lazily once per (route, status).
+        self._route_hists: dict[str, object] = {}
+        self._response_counters: dict[tuple[str, int], object] = {}
+
+    # -- legacy counters, now thin views over the obs registry ---------------
+
+    @property
+    def requests_served(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def bytes_sent(self) -> int:
+        return int(self._bytes.value)
+
+    def _route_of(self, path: str) -> str:
+        prefix = self.router.match(path)
+        return prefix if prefix is not None else "(unrouted)"
 
     def handle(self, request: HttpRequest) -> HttpResponse:
-        try:
-            response = self.router.dispatch(request)
-        except Exception as exc:
-            response = HttpResponse.error(500, f"{type(exc).__name__}: {exc}")
-        self.requests_served += 1
-        self.bytes_sent += response.size
+        route = self._route_of(request.path)
+        started = time.perf_counter()
+        with self.obs.span("web.handle", server=self.name, route=route) as span:
+            try:
+                response = self.router.dispatch(request)
+            except Exception as exc:
+                response = HttpResponse.error(500, f"{type(exc).__name__}: {exc}")
+            span.set_tag("status", response.status)
+        histogram = self._route_hists.get(route)
+        if histogram is None:
+            histogram = self._route_hists[route] = self.obs.histogram(
+                "web.request_s", server=self.name, route=route
+            )
+        histogram.observe(time.perf_counter() - started)
+        self._requests.inc()
+        self._bytes.inc(response.size)
+        counter_key = (route, response.status)
+        counter = self._response_counters.get(counter_key)
+        if counter is None:
+            counter = self._response_counters[counter_key] = self.obs.counter(
+                "web.responses", server=self.name, route=route,
+                status=str(response.status),
+            )
+        counter.inc()
         return response
 
 
@@ -70,14 +114,21 @@ class ThinClient:
 
     def __init__(self, server: WebServer, client_ip: str = "127.0.0.1"):
         self.server = server
+        self.obs = server.obs
         self.client_ip = client_ip
         self.cookies: dict[str, str] = {}
         self._static_cache: dict[str, bytes] = {}
-        self.requests_sent = 0
+        self._requests_sent = self.obs.counter("client.requests_sent",
+                                               client=client_ip)
+
+    @property
+    def requests_sent(self) -> int:
+        return int(self._requests_sent.value)
 
     def get(self, url: str) -> HttpResponse:
         if url.startswith("/static"):
             if url in self._static_cache:
+                self.obs.count("client.static_cache_hits", client=self.client_ip)
                 return HttpResponse.image(self._static_cache[url])
             response = self._send(HttpRequest.get(url, self.cookies, self.client_ip))
             if response.status == 200:
@@ -89,7 +140,7 @@ class ThinClient:
         return self._send(HttpRequest.post(url, params, self.cookies, self.client_ip))
 
     def _send(self, request: HttpRequest) -> HttpResponse:
-        self.requests_sent += 1
+        self._requests_sent.inc()
         response = self.server.handle(request)
         self.cookies.update(response.set_cookies)
         return response
@@ -100,19 +151,17 @@ class ThinClient:
 
     def browse_hle(self, hle_id: int) -> BrowseResult:
         """The §7.2 sequence: HLE page, then every embedded dynamic image."""
-        started = time.perf_counter()
         result = BrowseResult(hle_id)
-        page = self.get(f"/hedc/hle?id={hle_id}")
-        result.page_bytes = page.size
-        result.n_requests += 1
-        if page.status != 200:
-            result.elapsed_s = time.perf_counter() - started
-            return result
-        for image_url in _IMG_RE.findall(page.text):
-            image = self.get(image_url.replace("&amp;", "&"))
+        with self.obs.timed("client.browse_s", client=self.client_ip) as timer:
+            page = self.get(f"/hedc/hle?id={hle_id}")
+            result.page_bytes = page.size
             result.n_requests += 1
-            if image.status == 200:
-                result.image_bytes += image.size
-                result.n_images += 1
-        result.elapsed_s = time.perf_counter() - started
+            if page.status == 200:
+                for image_url in _IMG_RE.findall(page.text):
+                    image = self.get(image_url.replace("&amp;", "&"))
+                    result.n_requests += 1
+                    if image.status == 200:
+                        result.image_bytes += image.size
+                        result.n_images += 1
+        result.elapsed_s = timer.elapsed_s
         return result

@@ -9,12 +9,14 @@ index) — and wraps everything in header/footer templates.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Optional
 
 import numpy as np
 
 from ..analysis import render_pgm
 from ..metadb import Aggregate, And, Between, Comparison, Select
+from ..obs import resolve as resolve_obs, to_json_snapshot, to_line_protocol
 from ..security import AuthError, User, scoped_where
 from .http import HttpRequest, HttpResponse
 from .pages import build_registry
@@ -30,9 +32,10 @@ def _logo() -> bytes:
 class Servlets:
     """All servlet handlers, sharing the DM and template registry."""
 
-    def __init__(self, dm, frontend=None):
+    def __init__(self, dm, frontend=None, obs=None):
         self.dm = dm
         self.frontend = frontend
+        self.obs = obs if obs is not None else resolve_obs(getattr(dm, "obs", None))
         self.registry = build_registry()
         self._static = {"logo.pgm": _logo(), "nav.pgm": _logo()}
 
@@ -287,3 +290,17 @@ class Servlets:
         if analysis_request.ana_id is None:
             return HttpResponse.error(500, f"analysis failed: {analysis_request.error}")
         return HttpResponse.redirect(f"/hedc/ana?id={analysis_request.ana_id}")
+
+    # -- telemetry (the repro.obs registry, rendered at the edge) ---------------------------------
+
+    def metrics(self, request: HttpRequest) -> HttpResponse:
+        """Serve the obs registry: line protocol by default, JSON with
+        ``?format=json`` (which also includes recent trace trees)."""
+        if request.params.get("format") == "json":
+            body = to_json_snapshot(self.obs.registry, tracer=self.obs.tracer)
+            return HttpResponse(
+                body=json.dumps(body, indent=2).encode("utf-8"),
+                content_type="application/json",
+            )
+        text = to_line_protocol(self.obs.registry)
+        return HttpResponse(body=text.encode("utf-8"), content_type="text/plain")

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import Hedc
-from repro.metadb import Comparison
 from repro.pl import Phase
 
 

@@ -22,7 +22,7 @@ from repro.metadb import (
     Update,
     clone_database,
 )
-from repro.pl import AnalysisRequest, Phase
+from repro.pl import Phase
 from repro.security import AuthError
 
 
@@ -101,7 +101,6 @@ class TestReplication:
         """The DM's I/O layer sits on a ReplicatedDatabase unchanged."""
         from repro.dm import DataManager
         from repro.filestore import DiskArchive, StorageManager
-        from repro.schema import install_all
 
         primary = Database(name="hedc")
         replicated = ReplicatedDatabase(primary)

@@ -13,7 +13,7 @@ import pytest
 
 from repro.dm import DataManager, DmRouter, WorkflowError
 from repro.filestore import ArchiveError, DiskArchive, StorageManager
-from repro.metadb import Comparison, Insert, Select
+from repro.metadb import Insert, Select
 from repro.pl import (
     AnalysisRequest,
     Frontend,

@@ -6,7 +6,6 @@ data files on disk.  Here: the metadata database journals every commit
 repository must lose nothing.
 """
 
-import pytest
 
 from repro import Hedc
 from repro.metadb import Comparison, Select

@@ -3,7 +3,6 @@
 
 import pytest
 
-from repro.dm import DataManager
 from repro.pl import (
     AnalysisRequest,
     AnalysisStrategy,

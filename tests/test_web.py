@@ -220,3 +220,73 @@ class TestServlets:
         before = server.bytes_sent
         client.get("/hedc/catalogs")
         assert server.bytes_sent > before
+
+
+class TestObservabilityIntegration:
+    """A full browse through the three tiers, observed end to end."""
+
+    def test_browse_produces_span_tree_and_route_metrics(self, web_stack):
+        hedc, server, events = web_stack
+        client = ThinClient(server)
+        assert client.login("reader", "reader-pw")
+        hedc.obs.enable()
+        hedc.obs.tracer.reset()
+        try:
+            result = client.browse_hle(events[0]["hle_id"])
+        finally:
+            hedc.obs.disable()
+        assert result.elapsed_s > 0
+
+        # One browse is one trace: client.browse_s at the root, the
+        # web → dm → metadb chain nested beneath it.
+        roots = [span for span in hedc.obs.tracer.finished_spans()
+                 if span.name == "client.browse_s"]
+        assert len(roots) == 1
+        handles = roots[0].find("web.handle")
+        assert len(handles) == result.n_requests
+        hle_handle = next(span for span in handles
+                          if span.tags.get("route") == "/hedc/hle")
+        assert hle_handle.tags.get("status") == 200
+        dm_spans = hle_handle.find("dm.query")
+        assert dm_spans, "web.handle must contain dm.query spans"
+        assert dm_spans[0].find("metadb.execute"), \
+            "dm.query must contain metadb.execute spans"
+        # Every span in the tree belongs to the same trace.
+        assert {span.trace_id for span in roots[0].walk()} == {roots[0].span_id}
+
+        # The edge servlet serves per-route latency histograms.
+        response = client.get("/hedc/metrics")
+        assert response.status == 200
+        assert response.content_type == "text/plain"
+        hle_lines = [line for line in response.text.splitlines()
+                     if line.startswith("web.request_s,route=/hedc/hle")]
+        assert len(hle_lines) == 1
+        assert "p50=" in hle_lines[0] and "p95=" in hle_lines[0]
+        registry = hedc.obs.registry
+        assert registry.get("web.request_s",
+                            server=server.name, route="/hedc/hle").count > 0
+        assert registry.value("web.responses", server=server.name,
+                              route="/hedc/hle", status="200") > 0
+
+    def test_metrics_servlet_json_format(self, web_stack):
+        hedc, server, _events = web_stack
+        import json
+
+        client = ThinClient(server)
+        response = client.get("/hedc/metrics?format=json")
+        assert response.status == 200
+        assert response.content_type == "application/json"
+        data = json.loads(response.text)
+        assert "metrics" in data and "traces" in data
+        assert "web.requests" in data["metrics"]
+
+    def test_telemetry_report_summarises_tiers(self, web_stack):
+        hedc, _server, _events = web_stack
+        report = hedc.telemetry_report()
+        assert report["node"] == "dm0"
+        assert report["db"]["queries"] > 0
+        assert report["db"]["latency"]["count"] >= 0
+        assert set(report["pools"]) == {"queries", "updates", "auth"}
+        assert 0.0 <= report["sessions"]["hit_ratio"] <= 1.0
+        assert report["name_mapping"]["lookups"] > 0
+        assert "metrics" in report
