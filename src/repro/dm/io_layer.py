@@ -19,19 +19,20 @@ import time
 from pathlib import Path
 from typing import Any, Optional, Union
 
-from ..filestore import StorageManager
+from ..filestore import ChecksumError, StorageManager
 from ..obs import Observability, resolve as resolve_obs
 from ..metadb import (
-    Aggregate,
     Database,
     Delete,
     Insert,
+    LockTimeout,
     PoolSet,
     Select,
     Update,
     parse as parse_sql,
     to_sql,
 )
+from ..resil import Deadline, InjectedFault, RetryPolicy
 from .naming import NameMapper, ResolvedName
 
 Statement = Union[Select, Insert, Update, Delete]
@@ -84,6 +85,18 @@ class IoLayer:
         #: round trip is semantics-preserving (tested) and lets query
         #: rewriting happen "without system downtime".
         self.translate_through_sql = translate_through_sql
+        #: Idempotent reads (autocommit SELECTs, archive retrievals) are
+        #: retried through this policy; writes are never retried here.
+        self.read_retry = RetryPolicy(
+            name="dm.read",
+            max_attempts=3,
+            base_delay_s=0.001,
+            max_delay_s=0.05,
+            seed=7,
+            retryable=(InjectedFault, LockTimeout, ChecksumError, OSError,
+                       TimeoutError),
+            obs=self.obs,
+        )
         # Last: the mapper issues counted queries through this layer.
         self.names = NameMapper(self, obs=self.obs)
         self.stats.reset()
@@ -117,6 +130,7 @@ class IoLayer:
                 "the DM API has no provisions for regular SQL calls (paper §5.4); "
                 "pass a Select/Insert/Update/Delete collection object"
             )
+        Deadline.check_current("dm.execute")
         database = self.database_for(statement.table)
         if self.translate_through_sql and tx is None and self._translatable(statement):
             statement = parse_sql(to_sql(statement))
@@ -126,12 +140,20 @@ class IoLayer:
         else:
             self.stats.edits += 1
             kind = "edit"
+        # Autocommit SELECTs are idempotent — safe to retry on transient
+        # failures.  Anything in a transaction or mutating runs exactly once.
+        if kind == "query" and tx is None:
+            def run():
+                return self.read_retry.call(database.execute, statement)
+        else:
+            def run():
+                return database.execute(statement, tx=tx)
         obs = self.obs
         if not obs.enabled:
-            return database.execute(statement, tx=tx)
+            return run()
         started = time.perf_counter()
         with obs.span("dm.query", table=statement.table, kind=kind):
-            result = database.execute(statement, tx=tx)
+            result = run()
         obs.observe("dm.query_s", time.perf_counter() - started, kind=kind)
         return result
 
@@ -171,7 +193,11 @@ class IoLayer:
         """Read bytes for a constructed filename."""
         archive_id = self._archive_for_root(resolved.root)
         with self.obs.span("dm.io.read", path=resolved.path):
-            payload = self.storage.retrieve(archive_id, resolved.path)
+            # Retried: a ChecksumError here means the *read* was corrupt
+            # (flaky controller), and a re-read can come back clean.
+            payload = self.read_retry.call(
+                self.storage.retrieve, archive_id, resolved.path
+            )
         self.stats.files_read += 1
         self.stats.bytes_read += len(payload)
         self.obs.count("dm.io.files_read")

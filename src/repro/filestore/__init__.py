@@ -6,6 +6,7 @@ from .archive import (
     ArchiveError,
     ArchiveKind,
     ArchiveOffline,
+    ChecksumError,
     DiskArchive,
     NotStaged,
     RemoteArchive,
@@ -20,6 +21,7 @@ __all__ = [
     "ArchiveError",
     "ArchiveKind",
     "ArchiveOffline",
+    "ChecksumError",
     "DiskArchive",
     "MigrationResult",
     "NotStaged",

@@ -19,11 +19,16 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
+from ..resil.faults import fire as fire_fault, maybe_corrupt
 from .checksums import checksum_bytes, checksum_file
 
 
 class ArchiveError(Exception):
     """Storage operation failure."""
+
+
+class ChecksumError(ArchiveError):
+    """Payload bytes no longer match the checksum recorded at store time."""
 
 
 class ArchiveOffline(ArchiveError):
@@ -88,6 +93,7 @@ class Archive:
     def store(self, rel_path: str, payload: bytes) -> StoredItem:
         """Store immutable content under ``rel_path``."""
         self._require_online()
+        fire_fault("filestore.store")
         path = self._full_path(rel_path)
         if path.exists():
             raise ArchiveError(
@@ -121,11 +127,15 @@ class Archive:
 
     def retrieve(self, rel_path: str) -> bytes:
         self._require_online()
+        fire_fault("filestore.read")
         path = self._full_path(rel_path)
         if not path.exists():
             raise ArchiveError(f"{self.archive_id}:{rel_path} not found")
         self.reads += 1
-        return path.read_bytes()
+        # Chaos corruption happens on the read path (a flaky controller,
+        # not bad media): the stored bytes stay intact, so a verified
+        # re-read can succeed.
+        return maybe_corrupt("filestore.corrupt", path.read_bytes())
 
     def exists(self, rel_path: str) -> bool:
         if not self.online:

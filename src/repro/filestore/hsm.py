@@ -19,8 +19,8 @@ from .archive import (
     Archive,
     ArchiveError,
     ArchiveKind,
+    ChecksumError,
     DiskArchive,
-    NotStaged,
     StoredItem,
     TapeArchive,
 )
@@ -47,6 +47,8 @@ class StorageManager:
         if scratch_dir is not None:
             self._scratch = DiskArchive("__scratch__", scratch_dir)
         self.migrations: list[MigrationResult] = []
+        # Checksums recorded at placement time, verified on every read.
+        self._checksums: dict[tuple[str, str], str] = {}
 
     # -- registry ------------------------------------------------------------
 
@@ -99,19 +101,53 @@ class StorageManager:
             if left is not None and left < len(payload):
                 continue
             try:
-                return archive.store(rel_path, payload)
+                item = archive.store(rel_path, payload)
             except ArchiveError as exc:
                 last_error = exc
+            else:
+                self._checksums[(item.archive_id, rel_path)] = item.checksum
+                return item
         raise ArchiveError(f"no archive can hold {rel_path!r}: {last_error}")
+
+    def record_checksum(self, archive_id: str, rel_path: str, checksum: str) -> None:
+        """Register an expected checksum for data stored out of band."""
+        self._checksums[(archive_id, rel_path)] = checksum
 
     # -- retrieval --------------------------------------------------------------
 
     def retrieve(self, archive_id: str, rel_path: str) -> bytes:
-        """Fetch bytes, transparently staging tape items via scratch."""
+        """Fetch bytes, transparently staging tape items via scratch.
+
+        When a checksum was recorded at placement time the payload is
+        verified against it; a mismatch raises :class:`ChecksumError`
+        rather than handing corrupt bytes to the DM.
+        """
         archive = self.archive(archive_id)
         if isinstance(archive, TapeArchive):
             archive.stage(rel_path)
-        return archive.retrieve(rel_path)
+        payload = archive.retrieve(rel_path)
+        self._verify(archive_id, rel_path, payload)
+        return payload
+
+    def _verify(self, archive_id: str, rel_path: str, payload: bytes) -> None:
+        expected = self._checksums.get((archive_id, rel_path))
+        if expected is not None and checksum_bytes(payload) != expected:
+            raise ChecksumError(
+                f"checksum mismatch reading {archive_id}:{rel_path} "
+                f"(expected {expected})"
+            )
+
+    def verify_recorded(self) -> list[tuple[str, str]]:
+        """Audit every recorded item; return the (archive, path) pairs
+        whose on-media bytes no longer match (empty list = all clean)."""
+        corrupt = []
+        for (archive_id, rel_path), expected in sorted(self._checksums.items()):
+            archive = self.archive(archive_id)
+            if isinstance(archive, TapeArchive):
+                archive.stage(rel_path)
+            if checksum_bytes(archive.retrieve(rel_path)) != expected:
+                corrupt.append((archive_id, rel_path))
+        return corrupt
 
     def local_path(self, archive_id: str, rel_path: str) -> Path:
         """A direct path for external programs; stages tape items first."""
@@ -140,6 +176,8 @@ class StorageManager:
         if isinstance(source, TapeArchive):
             source.stage(rel_path)
         payload = source.retrieve(rel_path)
+        # Never propagate a corrupt source copy to another tier.
+        self._verify(from_id, rel_path, payload)
         expected = checksum_bytes(payload)
         item = destination.store(rel_path, payload)
         if item.checksum != expected:
@@ -149,6 +187,12 @@ class StorageManager:
                 f"checksum mismatch migrating {rel_path!r} {from_id}->{to_id}"
             )
         source.remove(rel_path)
+        if (from_id, rel_path) in self._checksums:
+            self._checksums[(to_id, rel_path)] = self._checksums.pop(
+                (from_id, rel_path)
+            )
+        else:
+            self._checksums[(to_id, rel_path)] = expected
         result = MigrationResult(rel_path, from_id, to_id, item.size, item.checksum)
         self.migrations.append(result)
         return result

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..obs import Observability, resolve as resolve_obs
+from ..resil.faults import fire as fire_fault
 from ..rhessi.photons import PhotonList
 from .interpreter import IdlResourceError, IdlRuntimeError, Interpreter
 from .ssw import SswLibrary
@@ -144,6 +145,10 @@ class IdlServer:
         try:
             if self.fault_hook is not None:
                 self.fault_hook()
+            # idl.crash kills the session (generic except below -> CRASHED);
+            # idl.hang is typically armed stall-only (error=None, delay_s).
+            fire_fault("idl.crash")
+            fire_fault("idl.hang")
             value = interpreter.run(source)
         except IdlResourceError as exc:
             self.failures += 1

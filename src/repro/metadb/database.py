@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Any, Optional, Union
 
 from ..obs import Observability, resolve as resolve_obs
+from ..resil.faults import fire as fire_fault
 from .errors import ClosedError, IntegrityError, SchemaError, TransactionError
 from .query import Delete, Insert, Select, Update, execute_select, plan_select
 from .schema import TableSchema
@@ -287,6 +288,7 @@ class Database:
         """
         if isinstance(statement, str):
             statement = parse(statement)
+        fire_fault("metadb.statement")
         obs = self.obs
         if not obs.enabled:
             return self._execute_statement(statement, tx)

@@ -12,9 +12,10 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Optional, Union
+from typing import Any, Optional, Union
 
 from ..obs import Observability, resolve as resolve_obs
+from ..resil.faults import fire as fire_fault
 from .database import Database
 from .errors import ClosedError, LockTimeout
 from .sql import Statement
@@ -112,6 +113,9 @@ class ConnectionPool:
             return connection
 
     def _acquire(self, timeout: Optional[float]) -> Connection:
+        # Injected stalls/errors happen before the condition variable is
+        # taken, so a chaos-stalled acquire never blocks other callers.
+        fire_fault("metadb.pool.acquire")
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._available:
             while True:

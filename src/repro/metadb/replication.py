@@ -24,6 +24,9 @@ import time
 from typing import Any, Optional, Union
 
 from ..obs import Observability, resolve as resolve_obs
+from ..resil.breaker import BreakerOpen, CircuitBreaker
+from ..resil.faults import fire as fire_fault
+from ..resil.policies import TRANSIENT_ERRORS
 from .database import Database, DatabaseStats
 from .errors import SchemaError, TransactionError
 from .query import Delete, Insert, Select, Update
@@ -79,14 +82,35 @@ class ReplicatedDatabase:
     copies, multiplying read capacity.
     """
 
-    def __init__(self, primary: Database, obs: Optional[Observability] = None):
+    def __init__(self, primary: Database, obs: Optional[Observability] = None,
+                 breaker_cooldown_s: float = 5.0):
         self.primary = primary
         self.replicas: list[Database] = []
         self._read_cursor = 0
         self._lock = threading.Lock()
         self.stats = DatabaseStats()
         self.obs = resolve_obs(obs)
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.breakers: dict[str, CircuitBreaker] = {}
         self.reads_by_copy: dict[str, int] = {primary.name: 0}
+
+    @property
+    def name(self) -> str:
+        return self.primary.name
+
+    def _breaker_for(self, copy: Database) -> CircuitBreaker:
+        breaker = self.breakers.get(copy.name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                name=f"metadb.copy.{copy.name}",
+                window=10,
+                min_calls=3,
+                failure_rate=0.5,
+                cooldown_s=self.breaker_cooldown_s,
+                obs=self.obs,
+            )
+            self.breakers[copy.name] = breaker
+        return breaker
 
     # -- topology ------------------------------------------------------------
 
@@ -158,11 +182,7 @@ class ReplicatedDatabase:
         if isinstance(statement, str):
             statement = parse(statement)
         if isinstance(statement, Select):
-            copy = self._next_reader()
-            self.stats.selects += 1
-            rows = copy.execute(statement)
-            self.stats.rows_read += len(rows)
-            return rows
+            return self._read_with_failover(statement)
         if isinstance(tx, Transaction):
             raise TransactionError(
                 "a replicated database needs transactions from its own begin()"
@@ -209,13 +229,47 @@ class ReplicatedDatabase:
             self.stats.rows_written += int(result or 0)
         return result
 
-    def _next_reader(self) -> Database:
+    def _read_with_failover(self, statement: Select) -> list[dict[str, Any]]:
+        """Serve a read from the next healthy copy.
+
+        The happy path is the same round-robin rotation as before: one
+        cursor increment per logical read, so read load stays perfectly
+        balanced.  When a copy raises a transient error (or its breaker
+        is open) the read fails over to the next copy; only transient
+        errors count against a copy's breaker, so a bad query never
+        trips a circuit.
+        """
         with self._lock:
             copies = self._copies()
-            copy = copies[self._read_cursor % len(copies)]
+            start = self._read_cursor
             self._read_cursor += 1
-            self.reads_by_copy[copy.name] += 1
-            return copy
+        last_transient: Optional[BaseException] = None
+        for offset in range(len(copies)):
+            copy = copies[(start + offset) % len(copies)]
+            breaker = self._breaker_for(copy)
+            if not breaker.allow():
+                continue
+            try:
+                fire_fault(f"metadb.replica.{copy.name}")
+                rows = copy.execute(statement)
+            except TRANSIENT_ERRORS as exc:
+                breaker.record_failure()
+                last_transient = exc
+                self.obs.count("metadb.replication.failovers",
+                               db=self.primary.name, copy=copy.name)
+                continue
+            breaker.record_success()
+            with self._lock:
+                self.stats.selects += 1
+                self.stats.rows_read += len(rows)
+                self.reads_by_copy[copy.name] += 1
+            return rows
+        if last_transient is not None:
+            raise last_transient
+        raise BreakerOpen(
+            f"metadb.{self.primary.name}.reads",
+            min(b.retry_after_s() for b in self.breakers.values()),
+        )
 
     # -- verification --------------------------------------------------------------
 

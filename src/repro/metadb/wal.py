@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Any, Iterator, Optional
 
 from ..obs import Observability, resolve as resolve_obs
+from ..resil.faults import fire as fire_fault
 
 
 def _encode_value(value: Any) -> Any:
@@ -50,6 +51,7 @@ class Journal:
         self.obs = resolve_obs(obs)
 
     def _fsync(self, handle) -> None:
+        fire_fault("metadb.wal.fsync")
         os.fsync(handle.fileno())
         self.obs.count("metadb.wal.fsyncs")
 

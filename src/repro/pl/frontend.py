@@ -19,6 +19,7 @@ import time
 from typing import Optional
 
 from ..obs import Observability, resolve as resolve_obs
+from ..resil import Deadline
 from .animation import AnimationStrategy
 from .directory import GlobalDirectory
 from .manager import IdlServerManager
@@ -39,6 +40,19 @@ class UnknownRequestType(Exception):
 
 class Frontend:
     """Interpreter and scheduler of abstract analysis requests."""
+
+    #: When less than this fraction of the ambient deadline budget is
+    #: left at execute time, the request degrades to a cheaper
+    #: approximation instead of blowing the budget mid-computation.
+    degrade_fraction = 0.5
+
+    #: Resolution caps applied to a degraded request's parameters.
+    degraded_parameters = {
+        "n_pixels": 16,
+        "n_bins": 16,
+        "n_energy_bins": 8,
+        "n_frames": 1,
+    }
 
     def __init__(
         self,
@@ -119,6 +133,7 @@ class Frontend:
                 if not request.plan.feasible:
                     raise RequestFailed(f"infeasible: {request.plan.reason}")
             request.check_cancelled()
+            self._maybe_degrade(request)
             request.raw_result = strategy.execute(request, self.context)
             request.phase = Phase.EXECUTED
             request.check_cancelled()
@@ -138,6 +153,27 @@ class Frontend:
         self.completed.append(request)
         return request
 
+    def _maybe_degrade(self, request: AnalysisRequest) -> None:
+        """Graceful degradation against the ambient :class:`Deadline`.
+
+        A blown budget fails fast (the raise is caught by the phase
+        runner, producing a FAILED request).  A nearly-spent budget caps
+        the resolution parameters to a cheap approximation and marks the
+        result ``degraded`` so the client can see it got the fallback.
+        """
+        deadline = Deadline.current()
+        if deadline is None:
+            return
+        deadline.check(f"pl.execute({request.algorithm})")
+        if deadline.fraction_remaining() >= self.degrade_fraction:
+            return
+        for parameter, cap in self.degraded_parameters.items():
+            value = request.parameters.get(parameter)
+            if isinstance(value, int) and value > cap:
+                request.parameters[parameter] = cap
+        request.parameters["degraded"] = True
+        self.obs.count("pl.degraded", algorithm=request.algorithm)
+
     # -- queued/asynchronous path ----------------------------------------------------
 
     def submit(self, request: AnalysisRequest) -> AnalysisRequest:
@@ -149,7 +185,10 @@ class Frontend:
         """
         if not self._workers:
             raise RuntimeError("frontend has no workers; use run() or pass n_workers")
-        ctx = contextvars.copy_context() if self.obs.enabled else None
+        # The context carries the tracing span AND any ambient Deadline
+        # onto the worker thread.
+        copy_needed = self.obs.enabled or Deadline.current() is not None
+        ctx = contextvars.copy_context() if copy_needed else None
         with self._queue_ready:
             heapq.heappush(
                 self._queue, (request.priority, next(self._ticket), request, ctx)

@@ -16,12 +16,21 @@ from typing import Callable, Optional
 
 from ..idl import IdlServer, InvocationResult, ServerState
 from ..obs import Observability, resolve as resolve_obs
+from ..resil import RetryPolicy
 from ..rhessi import PhotonList
 from .directory import GlobalDirectory
 
 
 class NoServerAvailable(Exception):
     """All managed IDL servers are busy or crashed."""
+
+
+class _ServerCrashed(Exception):
+    """Internal retry signal: the serving interpreter crashed mid-call."""
+
+    def __init__(self, result: InvocationResult):
+        super().__init__(result.error or "server crashed")
+        self.result = result
 
 
 class IdlServerManager:
@@ -36,11 +45,21 @@ class IdlServerManager:
         fault_hook: Optional[Callable[[], None]] = None,
         routine_library=None,
         obs: Optional[Observability] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if n_servers < 1:
             raise ValueError("need at least one IDL server")
         self.node_name = node_name
         self.obs = resolve_obs(obs)
+        #: Backoff/classification for crash-retried invocations; the
+        #: per-call ``retries`` argument overrides ``max_attempts``.
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=2,
+            base_delay_s=0.0,
+            jitter=0.0,
+            name=f"pl.{node_name}",
+            obs=self.obs,
+        )
         self.routine_library = routine_library
         on_start = None
         if routine_library is not None:
@@ -184,17 +203,45 @@ class IdlServerManager:
         timeout_s: Optional[float],
         retries: int,
     ) -> InvocationResult:
-        attempt = 0
-        while True:
+        """One invocation under :class:`RetryPolicy`.
+
+        A crash restarts the server (bounded: at most ``2 * n_servers``
+        restarts per invocation, so a persistently crashing routine cannot
+        spin the pool forever) and retries up to ``retries`` more times.
+        :class:`NoServerAvailable` is never retried — a drained pool is
+        surfaced to the caller immediately.
+        """
+        restart_budget = max(2, 2 * len(self._servers))
+        restarts = 0
+
+        def attempt_once() -> InvocationResult:
+            nonlocal restarts
             server = self._acquire()
             if photons is not None:
                 server.bind_photons(photons)
             result = server.invoke(source, timeout_s=timeout_s)
-            if result.ok or server.state is not ServerState.CRASHED or attempt >= retries:
+            if result.ok or server.state is not ServerState.CRASHED:
                 return result
-            attempt += 1
+            if restarts >= restart_budget:
+                self.obs.count("pl.no_server_available", node=self.node_name)
+                raise NoServerAvailable(
+                    f"restart budget ({restart_budget}) exhausted on "
+                    f"{self.node_name}: {result.error}"
+                )
             server.restart()
+            restarts += 1
             self._record_recovery()
+            raise _ServerCrashed(result)
+
+        policy = self.retry_policy.replace(
+            max_attempts=max(1, retries + 1), retryable=(_ServerCrashed,)
+        )
+        try:
+            return policy.call(attempt_once)
+        except _ServerCrashed as exc:
+            # Retries exhausted: the request failed, the system is healthy
+            # again (the last restart already happened above).
+            return exc.result
 
     def invoke_async(
         self,

@@ -16,20 +16,39 @@ hand-rolled ``perf_counter`` bookkeeping.
 
 from __future__ import annotations
 
+import math
 import re
 import time
 from dataclasses import dataclass
 
 from ..obs import Observability, resolve as resolve_obs
+from ..resil import (
+    BreakerOpen,
+    BulkheadFull,
+    ConnectionDropped,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
+from ..resil.faults import fire as fire_fault
 from .http import HttpRequest, HttpResponse, Router
 from .servlets import SESSION_COOKIE, Servlets
 
 
 class WebServer:
-    """One web-server node hosting the HEDC servlets over one DM."""
+    """One web-server node hosting the HEDC servlets over one DM.
+
+    ``request_budget_s`` installs a :class:`Deadline` around each request,
+    propagated down into the DM and PL; blown budgets come back as 504.
+    When a downstream breaker/bulkhead rejects the call, the server sheds
+    load with 503 + ``Retry-After`` instead of queueing on a dead
+    dependency.
+    """
 
     def __init__(self, dm, frontend=None, name: str = "web0",
-                 obs: Observability | None = None):
+                 obs: Observability | None = None,
+                 request_budget_s: float | None = None):
+        self.request_budget_s = request_budget_s
         self.name = name
         self.dm = dm
         self.obs = obs if obs is not None else resolve_obs(getattr(dm, "obs", None))
@@ -67,11 +86,31 @@ class WebServer:
         return prefix if prefix is not None else "(unrouted)"
 
     def handle(self, request: HttpRequest) -> HttpResponse:
+        # The drop happens before any server-side work, like a broken
+        # socket would; it propagates to the client as an exception, not a
+        # response.
+        fire_fault("web.connection_drop")
         route = self._route_of(request.path)
         started = time.perf_counter()
         with self.obs.span("web.handle", server=self.name, route=route) as span:
             try:
-                response = self.router.dispatch(request)
+                if self.request_budget_s is not None:
+                    with Deadline(self.request_budget_s):
+                        response = self.router.dispatch(request)
+                else:
+                    response = self.router.dispatch(request)
+            except (BreakerOpen, BulkheadFull) as exc:
+                response = HttpResponse.error(
+                    503, f"service unavailable: {exc}"
+                )
+                response.headers["Retry-After"] = str(
+                    max(1, math.ceil(exc.retry_after_s))
+                )
+                self.obs.count("web.shed", server=self.name, route=route)
+            except DeadlineExceeded as exc:
+                response = HttpResponse.error(504, f"deadline exceeded: {exc}")
+                self.obs.count("web.deadline_exceeded", server=self.name,
+                               route=route)
             except Exception as exc:
                 response = HttpResponse.error(500, f"{type(exc).__name__}: {exc}")
             span.set_tag("status", response.status)
@@ -120,6 +159,16 @@ class ThinClient:
         self._static_cache: dict[str, bytes] = {}
         self._requests_sent = self.obs.counter("client.requests_sent",
                                                client=client_ip)
+        # A browser reconnects on a dropped connection; GET/POST against
+        # these servlets are safe to resend.
+        self._drop_retry = RetryPolicy(
+            name="client.reconnect",
+            max_attempts=3,
+            base_delay_s=0.0,
+            jitter=0.0,
+            retryable=(ConnectionDropped,),
+            obs=self.obs,
+        )
 
     @property
     def requests_sent(self) -> int:
@@ -141,7 +190,7 @@ class ThinClient:
 
     def _send(self, request: HttpRequest) -> HttpResponse:
         self._requests_sent.inc()
-        response = self.server.handle(request)
+        response = self._drop_retry.call(self.server.handle, request)
         self.cookies.update(response.set_cookies)
         return response
 
