@@ -20,9 +20,11 @@ def _run_histograms(hedc, user, n_requests):
     committed = []
     for index in range(n_requests):
         event = events[index % len(events)]
+        # force: the workload characterization must run the full pipeline
+        # on every request; the product cache would serve the repeats.
         request = AnalysisRequest(
             user, event["hle_id"], "histogram",
-            {"attribute": "energy", "n_bins": 64},
+            {"attribute": "energy", "n_bins": 64, "force": True},
         )
         frontend.run(request)
         assert request.phase is Phase.COMMITTED, request.error

@@ -1,0 +1,172 @@
+"""Pluggable eviction policies for :class:`repro.cache.Cache`.
+
+A policy only tracks *keys* and their access pattern; the cache owns the
+values, sizes and expiry times.  The contract is four methods:
+
+* ``record_get(key)``  — the key was read (a hit)
+* ``record_put(key)``  — the key was inserted (not called on overwrite)
+* ``record_remove(key)`` — the key left the cache (any reason)
+* ``victim()``         — which key the cache should evict next
+
+``victim`` may be called repeatedly while the cache is over capacity
+(entry count or byte budget), so policies must tolerate back-to-back
+victim/record_remove cycles.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+
+class EvictionPolicy:
+    """Base policy: the four-method contract."""
+
+    name = "abstract"
+
+    def record_get(self, key: Hashable) -> None:
+        raise NotImplementedError
+
+    def record_put(self, key: Hashable) -> None:
+        raise NotImplementedError
+
+    def record_remove(self, key: Hashable) -> None:
+        raise NotImplementedError
+
+    def victim(self) -> Optional[Hashable]:
+        raise NotImplementedError
+
+
+class LruPolicy(EvictionPolicy):
+    """Least-recently-used: reads and writes refresh recency."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[Hashable, None] = OrderedDict()
+
+    def record_get(self, key: Hashable) -> None:
+        if key in self._order:
+            self._order.move_to_end(key)
+
+    def record_put(self, key: Hashable) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def record_remove(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+
+    def victim(self) -> Optional[Hashable]:
+        return next(iter(self._order)) if self._order else None
+
+
+class FifoPolicy(EvictionPolicy):
+    """Insertion order; reads do not refresh.  This is the natural
+    companion of a TTL cache (oldest entries expire first), so the cache
+    accepts ``policy="ttl"`` as an alias."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[Hashable, None] = OrderedDict()
+
+    def record_get(self, key: Hashable) -> None:
+        pass
+
+    def record_put(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def record_remove(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+
+    def victim(self) -> Optional[Hashable]:
+        return next(iter(self._order)) if self._order else None
+
+
+class ArcPolicy(EvictionPolicy):
+    """Adaptive Replacement Cache (Megiddo & Modha 2003).
+
+    Four lists: T1 (seen once, recency), T2 (seen at least twice,
+    frequency) hold resident keys; B1/B2 are their ghost extensions.  A
+    hit in a ghost list adapts the target size ``p`` of T1, so the policy
+    self-tunes between recency and frequency — in particular it is
+    scan-resistant: a one-pass sweep cannot flush the frequently-reused
+    working set out of T2.
+    """
+
+    name = "arc"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("ArcPolicy needs a positive capacity")
+        self.capacity = capacity
+        self.p = 0.0                      # target size of T1
+        self._t1: OrderedDict[Hashable, None] = OrderedDict()
+        self._t2: OrderedDict[Hashable, None] = OrderedDict()
+        self._b1: OrderedDict[Hashable, None] = OrderedDict()
+        self._b2: OrderedDict[Hashable, None] = OrderedDict()
+
+    def record_get(self, key: Hashable) -> None:
+        if key in self._t1:
+            del self._t1[key]
+            self._t2[key] = None
+        elif key in self._t2:
+            self._t2.move_to_end(key)
+
+    def record_put(self, key: Hashable) -> None:
+        if key in self._t1 or key in self._t2:
+            self.record_get(key)
+            return
+        if key in self._b1:
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self.p = min(float(self.capacity), self.p + delta)
+            del self._b1[key]
+            self._t2[key] = None
+        elif key in self._b2:
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self.p = max(0.0, self.p - delta)
+            del self._b2[key]
+            self._t2[key] = None
+        else:
+            self._t1[key] = None
+        self._trim_ghosts()
+
+    def record_remove(self, key: Hashable) -> None:
+        # Removal by the cache (eviction via victim(), invalidation,
+        # expiry) leaves a ghost so a prompt re-insert counts as a
+        # frequency signal; explicit ghosts are trimmed by capacity.
+        if key in self._t1:
+            del self._t1[key]
+            self._b1[key] = None
+        elif key in self._t2:
+            del self._t2[key]
+            self._b2[key] = None
+        self._trim_ghosts()
+
+    def victim(self) -> Optional[Hashable]:
+        if self._t1 and (len(self._t1) > self.p or not self._t2):
+            return next(iter(self._t1))
+        if self._t2:
+            return next(iter(self._t2))
+        if self._t1:
+            return next(iter(self._t1))
+        return None
+
+    def _trim_ghosts(self) -> None:
+        while len(self._b1) > self.capacity:
+            self._b1.popitem(last=False)
+        while len(self._b2) > self.capacity:
+            self._b2.popitem(last=False)
+
+
+def make_policy(policy: str, max_entries: Optional[int]) -> EvictionPolicy:
+    """Instantiate a policy by name (``lru`` | ``arc`` | ``ttl``/``fifo``)."""
+    if policy == "lru":
+        return LruPolicy()
+    if policy in ("fifo", "ttl"):
+        return FifoPolicy()
+    if policy == "arc":
+        if max_entries is None:
+            raise ValueError("policy 'arc' requires max_entries")
+        return ArcPolicy(max_entries)
+    raise ValueError(f"unknown eviction policy {policy!r}")

@@ -1,0 +1,48 @@
+"""Process-wide cache registry, for the admin's instrument panel.
+
+Every :class:`~repro.cache.Cache` registers itself (weakly) at
+construction; :func:`cache_report` turns the live set into one dict of
+per-cache stat snapshots.  Reports are filtered by obs hub so a
+deployment (one :class:`~repro.obs.Observability` shared across tiers)
+only reports its own caches — test stacks running side by side do not
+contaminate each other's telemetry.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:                                     # pragma: no cover
+    from ..obs import Observability
+    from .core import Cache
+
+_caches: "weakref.WeakSet[Cache]" = weakref.WeakSet()
+
+
+def register_cache(cache: "Cache") -> None:
+    _caches.add(cache)
+
+
+def iter_caches(obs: "Optional[Observability]" = None) -> "Iterator[Cache]":
+    for cache in list(_caches):
+        if obs is None or cache.obs is obs:
+            yield cache
+
+
+def cache_report(obs: "Optional[Observability]" = None) -> dict[str, dict]:
+    """Per-cache stat snapshots, keyed by cache name.  Two caches sharing
+    a name within one hub (unusual) merge by summing counters."""
+    report: dict[str, dict] = {}
+    for cache in iter_caches(obs):
+        snapshot = cache.stats.snapshot()
+        existing = report.get(cache.name)
+        if existing is None:
+            report[cache.name] = snapshot
+        else:
+            for field, value in snapshot.items():
+                if field != "hit_ratio":
+                    existing[field] = existing.get(field, 0) + value
+            total = existing["hits"] + existing["misses"]
+            existing["hit_ratio"] = existing["hits"] / total if total else 0.0
+    return report

@@ -1,0 +1,67 @@
+"""Request coalescing: N concurrent identical requests do the work once.
+
+The leader (first caller for a key) runs the loader; followers block on
+an event and receive the leader's value — or the leader's exception, so
+a failing load fails every coalesced caller identically.  Keys leave the
+in-flight table before followers wake, so a *subsequent* call starts a
+fresh flight (coalescing is for concurrency, not memoization — pair with
+a :class:`~repro.cache.Cache` for that).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+
+class _Flight:
+    __slots__ = ("event", "value", "error", "followers")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self.followers = 0
+
+
+class SingleFlight:
+    """One in-flight call per key; concurrent callers share the result."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[Hashable, _Flight] = {}
+        self.coalesced = 0      # calls that waited on another's work
+
+    def do(self, key: Hashable, fn: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Run ``fn`` once per concurrent ``key``; returns ``(value,
+        leader)`` where ``leader`` says whether *this* caller did the
+        work."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leading = True
+            else:
+                flight.followers += 1
+                self.coalesced += 1
+                leading = False
+        if leading:
+            try:
+                flight.value = fn()
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                with self._lock:
+                    self._flights.pop(key, None)
+                flight.event.set()
+            return flight.value, True
+        flight.event.wait()
+        if flight.error is not None:
+            raise flight.error
+        return flight.value, False
+
+    def in_flight(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._flights

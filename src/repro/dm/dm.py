@@ -12,6 +12,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Optional, Union
 
+from ..cache import cache_report
 from ..filestore import DiskArchive, StorageManager
 from ..metadb import Database
 from ..obs import Observability, resolve as resolve_obs
@@ -143,6 +144,7 @@ class DataManager:
             "name_mapping": {
                 "lookups": registry.family_total("dm.name_mapping.lookups"),
             },
+            "caches": cache_report(self.obs),
             "io": self.io.stats.snapshot(),
             "metrics": registry.snapshot(),
         }

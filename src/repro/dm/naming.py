@@ -39,6 +39,9 @@ class ResolvedName:
     item_id: str
     role: str = "data"
     compressed: bool = False
+    #: Registered content checksum — doubles as a strong ETag for the
+    #: web tier's conditional GETs, with no payload read required.
+    checksum: Optional[str] = None
 
     @property
     def full(self) -> str:
@@ -180,6 +183,7 @@ class NameMapper:
                     item_id=item_id,
                     role=entry["role"],
                     compressed=bool(entry["compressed"]),
+                    checksum=entry.get("checksum"),
                 )
             )
         return resolved

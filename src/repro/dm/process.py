@@ -66,6 +66,18 @@ class ProcessLayer:
         #: In-memory cache of wavelet views keyed by (unit_id, signal);
         #: the encoded bytes also live in the file store.
         self.views: dict[tuple[str, str], RangePartitionedView] = {}
+        #: Monotonic invalidation epoch for derived-product caches.
+        #: Write-path workflows that change what an analysis *would*
+        #: compute (recalibration, new calibration versions) or where its
+        #: inputs live (archive relocation) bump it; cached products
+        #: stamped with an older epoch are stale from then on.
+        self.cache_epoch = 0
+
+    def bump_cache_epoch(self, reason: str) -> int:
+        self.cache_epoch += 1
+        self.io.obs.set_gauge("dm.cache_epoch", self.cache_epoch)
+        self.io.log("process", f"cache epoch -> {self.cache_epoch} ({reason})")
+        return self.cache_epoch
 
     # -- raw data preparation ----------------------------------------------------
 
@@ -244,6 +256,8 @@ class ProcessLayer:
             self._record_lineage("migration", f"{from_id}:{rel_path}", f"{to_id}:{rel_path}")
             moved += 1
         self.io.log("process", f"relocated {moved} items {from_id} -> {to_id}")
+        if moved:
+            self.bump_cache_epoch(f"relocate_archive {from_id}->{to_id}")
         return moved
 
     # -- recalibration -------------------------------------------------------------------
@@ -262,6 +276,7 @@ class ProcessLayer:
                 },
             )
         )
+        self.bump_cache_epoch(f"publish_calibration v{calibration.version}")
         return calibration.version
 
     def recalibrate_unit(self, unit_id: str, archive_id: str) -> str:
@@ -305,6 +320,7 @@ class ProcessLayer:
             f"unit:{new_unit.unit_id}@v{record.to_version}",
             detail=f"{record.n_photons} photons",
         )
+        self.bump_cache_epoch(f"recalibrate_unit {unit_id}")
         return new_unit.unit_id
 
     # -- catalog generation ----------------------------------------------------------------

@@ -4,6 +4,14 @@
 expensive parts of request processing" — so the DM caches up to three
 sessions per user (one each for analyses, HLEs and catalogues), matching
 clients to sessions by network IP and cookie.
+
+Storage, eviction and statistics are delegated to the unified
+:class:`repro.cache.Cache` core; this module keeps only the session
+*semantics*: the IP/cookie match, the idle-TTL rule, and the per-user
+eviction unit (a user's three kinds leave together).  The core's
+``on_evict`` hook keeps the cookie reverse map in lockstep with the
+session store, closing the historical leak where evicted or expired
+sessions lingered in ``_by_cookie`` forever.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from ..cache import Cache, CacheStats
 from ..obs import Observability, resolve as resolve_obs
 from ..security import User
 
@@ -51,28 +60,55 @@ class SessionCache:
 
     def __init__(self, max_users: int = 256, ttl_s: float = 3600.0,
                  obs: Optional[Observability] = None):
-        self._sessions: dict[tuple[int, str], Session] = {}
-        self._by_cookie: dict[str, tuple[int, str]] = {}
         self.max_users = max_users
         self.ttl_s = ttl_s
         self.obs = resolve_obs(obs)
-        self.hits = 0
-        self.misses = 0
         self.creations = 0
-        self._event_counters = {
-            event: self.obs.counter(f"dm.sessions.{event}")
-            for event in ("hits", "misses", "creations")
-        }
+        self._by_cookie: dict[str, tuple[int, str]] = {}
+        # Metric names predate the unified core; keep them stable.
+        self.stats = CacheStats("dm.sessions", obs=self.obs,
+                                metric_prefix="dm.sessions", labels={})
+        # max_entries is None: the capacity unit is *users*, enforced in
+        # create(); the core handles storage, stats and cookie cleanup.
+        self._cache: Cache = Cache(
+            "dm.sessions", policy="lru", obs=self.obs, stats=self.stats,
+            on_evict=self._on_removed,
+        )
+        self._creations_counter = self.obs.counter("dm.sessions.creations")
         self._size_gauge = self.obs.gauge("dm.sessions.size")
 
-    def _record(self, event: str) -> None:
-        self._event_counters[event].inc()
-        self._size_gauge.set(len(self._sessions))
+    # -- unified-stats views (legacy attribute names) ------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.stats.hits
+
+    @property
+    def misses(self) -> int:
+        return self.stats.misses
 
     @property
     def hit_ratio(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        return self.stats.hit_rate
+
+    @property
+    def size(self) -> int:
+        return len(self._cache)
+
+    def _on_removed(self, key: tuple[int, str], session: Session,
+                    reason: str) -> None:
+        """Every removal path — eviction, expiry, invalidation, overwrite
+        — drops the session's cookie, so ``_by_cookie`` can never outgrow
+        the live session set."""
+        self._by_cookie.pop(session.cookie, None)
+
+    def _miss(self) -> None:
+        self.stats.record_miss()
+        self._size_gauge.set(len(self._cache))
+
+    def _hit(self) -> None:
+        self.stats.record_hit()
+        self._size_gauge.set(len(self._cache))
 
     def _expired(self, session: Session) -> bool:
         return time.time() - session.last_used_at > self.ttl_s
@@ -80,24 +116,23 @@ class SessionCache:
     def lookup(self, user: User, kind: str, client_ip: str, cookie: str) -> Optional[Session]:
         """Match a client to its session via IP and cookie (§5.3)."""
         key = (user.user_id, kind)
-        session = self._sessions.get(key)
+        session = self._cache.peek(key, touch=True)
         if session is None or self._expired(session):
-            self.misses += 1
-            self._record("misses")
+            if session is not None:
+                self._cache.invalidate(key)
+            self._miss()
             return None
         if session.client_ip != client_ip or session.cookie != cookie:
-            self.misses += 1
-            self._record("misses")
+            self._miss()
             return None
-        self.hits += 1
-        self._record("hits")
+        self._hit()
         session.touch()
         return session
 
     def create(self, user: User, kind: str, client_ip: str) -> Session:
         if kind not in SESSION_KINDS:
             raise ValueError(f"unknown session kind {kind!r}")
-        self._evict_if_needed()
+        self._evict_if_needed(user)
         cookie = os.urandom(8).hex()
         session = Session(
             session_id=f"s-{user.user_id}-{kind}-{cookie[:6]}",
@@ -106,10 +141,13 @@ class SessionCache:
             client_ip=client_ip,
             cookie=cookie,
         )
-        self._sessions[(user.user_id, kind)] = session
+        # An overwrite removes the old session first (reason "replaced"),
+        # which clears its cookie via _on_removed.
+        self._cache.put((user.user_id, kind), session)
         self._by_cookie[cookie] = (user.user_id, kind)
         self.creations += 1
-        self._record("creations")
+        self._creations_counter.inc()
+        self._size_gauge.set(len(self._cache))
         return session
 
     def get_or_create(self, user: User, kind: str, client_ip: str,
@@ -119,16 +157,18 @@ class SessionCache:
             if session is not None:
                 return session
         else:
-            self.misses += 1
-            self._record("misses")
+            self._miss()
         return self.create(user, kind, client_ip)
 
     def by_cookie(self, cookie: str) -> Optional[Session]:
         key = self._by_cookie.get(cookie)
         if key is None:
             return None
-        session = self._sessions.get(key)
-        if session is None or session.cookie != cookie or self._expired(session):
+        session = self._cache.peek(key)
+        if session is None or session.cookie != cookie:
+            return None
+        if self._expired(session):
+            self._cache.invalidate(key)
             return None
         return session
 
@@ -136,19 +176,33 @@ class SessionCache:
         """Drop all of a user's sessions (logout / deactivation)."""
         dropped = 0
         for kind in SESSION_KINDS:
-            session = self._sessions.pop((user_id, kind), None)
-            if session is not None:
-                self._by_cookie.pop(session.cookie, None)
+            if self._cache.invalidate((user_id, kind)):
                 dropped += 1
+        self._size_gauge.set(len(self._cache))
         return dropped
 
-    def _evict_if_needed(self) -> None:
-        active_users = {user_id for user_id, _kind in self._sessions}
-        if len(active_users) < self.max_users:
-            return
-        oldest = min(self._sessions.values(), key=lambda session: session.last_used_at)
-        self.invalidate_user(oldest.user.user_id)
+    def prune_expired(self) -> int:
+        """Sweep idle-expired sessions out of the store (and so out of
+        the cookie map) without waiting for them to be observed."""
+        dropped = 0
+        for key in self._cache.keys():
+            session = self._cache.peek(key)
+            if session is not None and self._expired(session):
+                if self._cache.invalidate(key):
+                    dropped += 1
+        self._size_gauge.set(len(self._cache))
+        return dropped
 
-    @property
-    def size(self) -> int:
-        return len(self._sessions)
+    def _evict_if_needed(self, user: User) -> None:
+        active_users = {user_id for user_id, _kind in self._cache.keys()}
+        if user.user_id in active_users or len(active_users) < self.max_users:
+            return
+        oldest: Optional[Session] = None
+        for key in self._cache.keys():
+            session = self._cache.peek(key)
+            if session is None:
+                continue
+            if oldest is None or session.last_used_at < oldest.last_used_at:
+                oldest = session
+        if oldest is not None:
+            self.invalidate_user(oldest.user.user_id)

@@ -6,6 +6,7 @@ from .directory import GlobalDirectory, ServiceRecord
 from .routines import Routine, RoutineLibrary, RoutineRejected, UserRoutineStrategy
 from .frontend import Frontend, UnknownRequestType
 from .manager import IdlServerManager, NoServerAvailable
+from .product_cache import CachedProduct, ProductCache, fingerprint
 from .requests import (
     DEFAULT_STRATEGIES,
     AnalysisRequest,
@@ -25,7 +26,10 @@ __all__ = [
     "AnalysisRequest",
     "AnimationStrategy",
     "AnalysisStrategy",
+    "CachedProduct",
     "DEFAULT_STRATEGIES",
+    "ProductCache",
+    "fingerprint",
     "ExecutionPlan",
     "Frontend",
     "GlobalDirectory",

@@ -19,10 +19,11 @@ import time
 from typing import Optional
 
 from ..obs import Observability, resolve as resolve_obs
-from ..resil import Deadline
+from ..resil import BreakerState, Deadline
 from .animation import AnimationStrategy
 from .directory import GlobalDirectory
 from .manager import IdlServerManager
+from .product_cache import ProductCache, fingerprint
 from .requests import (
     AnalysisRequest,
     AnalysisStrategy,
@@ -63,9 +64,22 @@ class Frontend:
         max_in_flight: int = 20,
         n_workers: int = 0,
         obs: Optional[Observability] = None,
+        product_cache: Optional[ProductCache] = None,
+        cache_products: bool = True,
     ):
         self.dm = dm
         self.obs = obs if obs is not None else resolve_obs(getattr(dm, "obs", None))
+        #: Derived-product memoization: repeat-identical requests are
+        #: served in O(lookup) with zero IDL invocations (§3.5, §5.3).
+        #: ``cache_products=False`` gives an uncached frontend (workload
+        #: characterization runs that must exercise the full pipeline).
+        if cache_products:
+            self.product_cache: Optional[ProductCache] = (
+                product_cache if product_cache is not None
+                else ProductCache(dm, obs=self.obs)
+            )
+        else:
+            self.product_cache = None
         self.context = StrategyContext(dm, idl_manager, node_name=node_name)
         self.directory = directory or GlobalDirectory()
         self.directory.register(f"frontend:{node_name}", "frontend", node_name)
@@ -115,13 +129,71 @@ class Frontend:
         """Run the phases in order, synchronously."""
         started = time.perf_counter()
         with self.obs.span("pl.run", algorithm=request.algorithm) as span:
-            result = self._run_phases(request, estimate)
+            result = self._run_or_serve(request, estimate)
             span.set_tag("phase", result.phase.name.lower())
         self.obs.observe("pl.request_s", time.perf_counter() - started,
                          algorithm=request.algorithm)
         self.obs.count("pl.requests", algorithm=request.algorithm,
                        phase=result.phase.name.lower())
         return result
+
+    def _run_or_serve(self, request: AnalysisRequest, estimate: bool) -> AnalysisRequest:
+        """Product-cache front door around the four phases.
+
+        Fresh hit → serve in O(lookup).  Miss with the IDL breaker open →
+        serve a *stale* entry with ``degraded=True`` if one survives
+        (stale-while-degraded).  Otherwise run the phases under
+        singleflight, so N concurrent identical submits execute once and
+        the followers are served from the entry the leader committed.
+        """
+        cache = self.product_cache
+        if cache is None or request.parameters.get("force"):
+            return self._run_phases(request, estimate)
+        key = fingerprint(request.algorithm, request.hle_id, request.parameters)
+        entry = cache.lookup(request.user, key)
+        if entry is not None:
+            self.obs.count("pl.product_cache.hits", algorithm=request.algorithm)
+            return self._serve_from_cache(request, entry)
+        self.obs.count("pl.product_cache.misses", algorithm=request.algorithm)
+        breaker = getattr(self.context.idl, "breaker", None)
+        if breaker is not None and breaker.state is BreakerState.OPEN:
+            stale = cache.lookup_stale(request.user, key)
+            if stale is not None:
+                self.obs.count("pl.product_cache.stale_served",
+                               algorithm=request.algorithm)
+                return self._serve_from_cache(request, stale, degraded=True)
+
+        def _lead() -> AnalysisRequest:
+            result = self._run_phases(request, estimate)
+            if (result.phase is Phase.COMMITTED and result.product is not None
+                    and result.ana_id is not None):
+                cache.store(key, request.algorithm, result.product, result.ana_id)
+            return result
+
+        result, leading = cache.flight.do(key, _lead)
+        if leading:
+            return result
+        # Follower: the leader ran the phases on its *own* request; this
+        # one gets the committed entry — or its own full run if the
+        # leader failed (no entry to share).
+        entry = cache.lookup(request.user, key)
+        if entry is not None:
+            self.obs.count("pl.product_cache.coalesced",
+                           algorithm=request.algorithm)
+            return self._serve_from_cache(request, entry)
+        return self._run_phases(request, estimate)
+
+    def _serve_from_cache(self, request: AnalysisRequest, entry,
+                          degraded: bool = False) -> AnalysisRequest:
+        request.product = entry.product
+        request.ana_id = entry.ana_id
+        request.parameters["served_from_cache"] = True
+        if degraded:
+            request.parameters["degraded"] = True
+        request.phase = Phase.COMMITTED
+        request.completed_at = time.monotonic()
+        self.completed.append(request)
+        return request
 
     def _run_phases(self, request: AnalysisRequest, estimate: bool) -> AnalysisRequest:
         strategy = self._strategy_for(request)

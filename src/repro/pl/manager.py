@@ -16,7 +16,7 @@ from typing import Callable, Optional
 
 from ..idl import IdlServer, InvocationResult, ServerState
 from ..obs import Observability, resolve as resolve_obs
-from ..resil import RetryPolicy
+from ..resil import CircuitBreaker, RetryPolicy
 from ..rhessi import PhotonList
 from .directory import GlobalDirectory
 
@@ -46,6 +46,7 @@ class IdlServerManager:
         routine_library=None,
         obs: Optional[Observability] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         if n_servers < 1:
             raise ValueError("need at least one IDL server")
@@ -59,6 +60,20 @@ class IdlServerManager:
             jitter=0.0,
             name=f"pl.{node_name}",
             obs=self.obs,
+        )
+        #: Outcome-window breaker over the whole pool: a persistently
+        #: failing IDL tier trips it open, letting callers (the frontend's
+        #: stale-while-degraded path, the web tier's load shedding) fail
+        #: over instead of queueing on a dead dependency.  Only *final*
+        #: outcomes are recorded — crashes absorbed by the retry/restart
+        #: machinery stay invisible, so transient chaos does not trip it.
+        self.breaker = breaker or CircuitBreaker(
+            f"pl.idl.{node_name}",
+            window=20,
+            min_calls=10,
+            failure_rate=0.6,
+            cooldown_s=2.0,
+            obs=resolve_obs(obs),
         )
         self.routine_library = routine_library
         on_start = None
@@ -185,15 +200,30 @@ class IdlServerManager:
         timeout_s: Optional[float] = None,
         retries: int = 1,
     ) -> InvocationResult:
-        """Run IDL source synchronously, restarting and retrying on crash."""
+        """Run IDL source synchronously, restarting and retrying on crash.
+
+        Raises :class:`~repro.resil.BreakerOpen` without touching a
+        server while the pool breaker is open.
+        """
+        self.breaker.check()
         self._heartbeat()
         started = time.perf_counter()
-        with self.obs.span("pl.invoke", node=self.node_name):
-            result = self._invoke_with_retries(source, photons, timeout_s, retries)
+        try:
+            with self.obs.span("pl.invoke", node=self.node_name):
+                result = self._invoke_with_retries(source, photons, timeout_s, retries)
+        except Exception:
+            # NoServerAvailable / exhausted restart budgets: the final
+            # outcome is a failure.
+            self.breaker.record_failure()
+            raise
         self.obs.observe("pl.invoke_s", time.perf_counter() - started,
                          node=self.node_name)
         if not result.ok and result.error and "resource drain" in result.error:
             self.obs.count("pl.resource_drains", node=self.node_name)
+        if result.ok:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
         return result
 
     def _invoke_with_retries(

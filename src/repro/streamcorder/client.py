@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional, Union
 
+from ..cache import SingleFlight
 from ..dm import DataManager
 from ..metadb import Comparison, Select
 from ..obs import Observability, resolve as resolve_obs
@@ -73,6 +74,9 @@ class StreamCorder:
         self._jobs: "queue.Queue[Job]" = queue.Queue()
         self._job_counter = 0
         self._peers: list["StreamCorder"] = []
+        #: Concurrent fetches of the same item download once (§6.2 jobs
+        #: frequently share input units).
+        self._fetch_flight = SingleFlight()
         self.downloads = 0
         self.bytes_downloaded = 0
         for worker_index in range(n_job_workers):
@@ -87,8 +91,14 @@ class StreamCorder:
         item_id = f"unit:{unit_id}"
         payload = self._cached(item_id)
         if payload is None:
-            payload = self._download(item_id)
-            self._place(item_id, f"units/{unit_id}.fits.gz", payload)
+            def _fetch() -> bytes:
+                fetched = self._download(item_id)
+                self._place(item_id, f"units/{unit_id}.fits.gz", fetched)
+                return fetched
+
+            payload, leader = self._fetch_flight.do(item_id, _fetch)
+            if not leader:
+                self.obs.count("streamcorder.downloads_coalesced")
         import gzip
 
         from ..fits import FitsFile

@@ -21,24 +21,29 @@ class HttpRequest:
     cookies: dict[str, str] = field(default_factory=dict)
     client_ip: str = "127.0.0.1"
     body: bytes = b""
+    headers: dict[str, str] = field(default_factory=dict)
 
     @classmethod
     def get(cls, url: str, cookies: Optional[dict[str, str]] = None,
-            client_ip: str = "127.0.0.1") -> "HttpRequest":
+            client_ip: str = "127.0.0.1",
+            headers: Optional[dict[str, str]] = None) -> "HttpRequest":
         parsed = urllib.parse.urlsplit(url)
         params = {key: values[-1] for key, values in
                   urllib.parse.parse_qs(parsed.query).items()}
-        return cls("GET", parsed.path, params, dict(cookies or {}), client_ip)
+        return cls("GET", parsed.path, params, dict(cookies or {}), client_ip,
+                   headers=dict(headers or {}))
 
     @classmethod
     def post(cls, url: str, params: Optional[dict[str, str]] = None,
              cookies: Optional[dict[str, str]] = None,
-             client_ip: str = "127.0.0.1") -> "HttpRequest":
+             client_ip: str = "127.0.0.1",
+             headers: Optional[dict[str, str]] = None) -> "HttpRequest":
         parsed = urllib.parse.urlsplit(url)
         merged = {key: values[-1] for key, values in
                   urllib.parse.parse_qs(parsed.query).items()}
         merged.update(params or {})
-        return cls("POST", parsed.path, merged, dict(cookies or {}), client_ip)
+        return cls("POST", parsed.path, merged, dict(cookies or {}), client_ip,
+                   headers=dict(headers or {}))
 
 
 @dataclass
@@ -65,6 +70,13 @@ class HttpResponse:
     def redirect(cls, location: str) -> "HttpResponse":
         response = cls(status=302)
         response.headers["Location"] = location
+        return response
+
+    @classmethod
+    def not_modified(cls, etag: str) -> "HttpResponse":
+        """304: the client's cached copy (``If-None-Match``) is current."""
+        response = cls(status=304)
+        response.headers["ETag"] = etag
         return response
 
     @property

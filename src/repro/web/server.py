@@ -157,6 +157,10 @@ class ThinClient:
         self.client_ip = client_ip
         self.cookies: dict[str, str] = {}
         self._static_cache: dict[str, bytes] = {}
+        # Browser-style revalidation cache: url -> (etag, body, content_type).
+        # Responses carrying an ETag are replayed with If-None-Match; a 304
+        # restores the cached body without the payload crossing the wire.
+        self._etag_cache: dict[str, tuple[str, bytes, str]] = {}
         self._requests_sent = self.obs.counter("client.requests_sent",
                                                client=client_ip)
         # A browser reconnects on a dropped connection; GET/POST against
@@ -183,7 +187,21 @@ class ThinClient:
             if response.status == 200:
                 self._static_cache[url] = response.body
             return response
-        return self._send(HttpRequest.get(url, self.cookies, self.client_ip))
+        headers: dict[str, str] = {}
+        cached = self._etag_cache.get(url)
+        if cached is not None:
+            headers["If-None-Match"] = cached[0]
+        response = self._send(
+            HttpRequest.get(url, self.cookies, self.client_ip, headers=headers)
+        )
+        if response.status == 304 and cached is not None:
+            self.obs.count("client.revalidated", client=self.client_ip)
+            return HttpResponse(status=200, body=cached[1], content_type=cached[2],
+                                headers=dict(response.headers))
+        etag = response.headers.get("ETag")
+        if response.status == 200 and etag:
+            self._etag_cache[url] = (etag, response.body, response.content_type)
+        return response
 
     def post(self, url: str, params: dict[str, str]) -> HttpResponse:
         return self._send(HttpRequest.post(url, params, self.cookies, self.client_ip))

@@ -9,12 +9,14 @@ index) — and wraps everything in header/footer templates.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Optional
 
 import numpy as np
 
 from ..analysis import render_pgm
+from ..cache import cache_report
 from ..metadb import Aggregate, And, Between, Comparison, Select
 from ..obs import resolve as resolve_obs, to_json_snapshot, to_line_protocol
 from ..security import AuthError, User, scoped_where
@@ -53,6 +55,17 @@ class Servlets:
 
     def _base_context(self, request: HttpRequest, title: str) -> dict[str, Any]:
         return {"title": title, "user": self._user_for(request)}
+
+    # -- conditional GETs ----------------------------------------------------
+
+    def _revalidate(self, request: HttpRequest, etag: str) -> Optional[HttpResponse]:
+        """304 when the client's ``If-None-Match`` matches ``etag`` —
+        derived products are immutable, so their checksums are strong
+        validators and the payload read/transfer is skipped entirely."""
+        if request.headers.get("If-None-Match") == etag:
+            self.obs.count("web.not_modified", route=request.path)
+            return HttpResponse.not_modified(etag)
+        return None
 
     # -- static ------------------------------------------------------------------
 
@@ -182,7 +195,14 @@ class Servlets:
             f"/hedc/image?item=ana:{ana_id}&index={index}"
             for index in range(ana.get("n_images") or 0)
         ]
-        return HttpResponse.html(self.registry.render("ana_page", context))
+        html = self.registry.render("ana_page", context)
+        etag = '"' + hashlib.sha256(html.encode("utf-8")).hexdigest()[:24] + '"'
+        cached = self._revalidate(request, etag)
+        if cached is not None:
+            return cached
+        response = HttpResponse.html(html)
+        response.headers["ETag"] = etag
+        return response
 
     # -- dynamic images ----------------------------------------------------------------------
 
@@ -199,8 +219,16 @@ class Servlets:
         names = self.dm.io.names.resolve_files(item_id, role="image")
         if index >= len(names):
             return HttpResponse.error(404, f"no image {index} for {item_id}")
+        etag = f'"{names[index].checksum}"' if names[index].checksum else None
+        if etag is not None:
+            cached = self._revalidate(request, etag)
+            if cached is not None:
+                return cached
         payload = self.dm.io.read_item(names[index])
-        return HttpResponse.image(payload)
+        response = HttpResponse.image(payload)
+        if etag is not None:
+            response.headers["ETag"] = etag
+        return response
 
     # -- download -------------------------------------------------------------------------------
 
@@ -213,10 +241,18 @@ class Servlets:
         wanted = request.params.get("path")
         for name in names:
             if wanted is None or name.path == wanted:
+                etag = f'"{name.checksum}"' if name.checksum else None
+                if etag is not None:
+                    cached = self._revalidate(request, etag)
+                    if cached is not None:
+                        return cached
                 payload = self.dm.io.read_item(name)
-                return HttpResponse(
+                response = HttpResponse(
                     body=payload, content_type="application/octet-stream"
                 )
+                if etag is not None:
+                    response.headers["ETag"] = etag
+                return response
         return HttpResponse.error(404, f"no file for {item_id}")
 
     # -- search: visual params, predefined queries, or user SQL ----------------------------------
@@ -298,6 +334,7 @@ class Servlets:
         ``?format=json`` (which also includes recent trace trees)."""
         if request.params.get("format") == "json":
             body = to_json_snapshot(self.obs.registry, tracer=self.obs.tracer)
+            body["caches"] = cache_report(self.obs)
             return HttpResponse(
                 body=json.dumps(body, indent=2).encode("utf-8"),
                 content_type="application/json",

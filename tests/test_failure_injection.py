@@ -392,3 +392,66 @@ class TestSeededChaos:
         # the probes succeed, and service restores without operator action.
         time.sleep(0.25)
         assert server.handle(HttpRequest.get("/hedc/catalogs")).status == 200
+
+    def test_stale_product_served_degraded_while_idl_down(self, tmp_path):
+        """Stale-while-degraded: a warm product whose calibration epoch
+        has moved on is still served — marked ``degraded`` — when the
+        whole IDL pool is down and its breaker is open, instead of
+        failing the request outright."""
+        from repro.core import Hedc
+        from repro.resil import BreakerState
+
+        hedc = Hedc.create(tmp_path / "hedc")
+        hedc.ingest_observation(duration_s=240.0, seed=13,
+                                unit_target_photons=200_000)
+        user = hedc.register_user("chaos", "pw")
+        event = hedc.events(user)[0]
+
+        # Warm the product cache with a committed analysis ...
+        warmed = hedc.analyze(user, event["hle_id"], "histogram",
+                              {"n_bins": 16})
+        assert warmed.phase is Phase.COMMITTED, warmed.error
+        # ... then make it stale: a new calibration version bumps the
+        # DM's cache epoch, so a fresh lookup now misses.
+        hedc.dm.process.publish_calibration((1.01,) * 9, (0.0,) * 9,
+                                            note="mid-mission recal")
+
+        injector = FaultInjector(seed=CHAOS_SEED)
+        # Rate 1.0 is deterministic: every IDL invocation crashes, so
+        # the pool's final outcomes are all failures.
+        injector.inject("idl.crash", rate=1.0)
+        breaker = hedc.idl.breaker
+        with use_injector(injector):
+            # Distinct forced probes (cache bypassed) fail until the
+            # pool breaker accumulates enough outcomes to trip.
+            probes = 0
+            while breaker.state is not BreakerState.OPEN:
+                probe = hedc.analyze(
+                    user, event["hle_id"], "histogram",
+                    {"n_bins": 16, "probe": probes, "force": True})
+                assert probe.phase is Phase.FAILED
+                probes += 1
+                assert probes <= 3 * breaker.min_calls, "breaker never tripped"
+            invocations = hedc.idl.stats()["invocations"]
+
+            # The warmed-but-stale request is served, degraded, with the
+            # IDL tier never touched.
+            served = hedc.analyze(user, event["hle_id"], "histogram",
+                                  {"n_bins": 16})
+            assert served.phase is Phase.COMMITTED
+            assert served.ana_id == warmed.ana_id
+            assert served.parameters.get("served_from_cache") is True
+            assert served.parameters.get("degraded") is True
+            assert hedc.idl.stats()["invocations"] == invocations
+
+            # A request with no cached product has nothing to fall back
+            # on: it fails fast on the open breaker.
+            cold = hedc.analyze(user, event["hle_id"], "lightcurve", {})
+            assert cold.phase is Phase.FAILED
+
+        # Chaos cleared and breaker cooled down: full service resumes.
+        injector.clear()
+        breaker.reset()
+        fresh = hedc.analyze(user, event["hle_id"], "histogram",
+                             {"n_bins": 16, "force": True})
+        assert fresh.phase is Phase.COMMITTED, fresh.error

@@ -1,5 +1,7 @@
 """Tests for the presentation tier: templates, HTTP model, servlets."""
 
+import re
+
 import pytest
 
 from repro.web import (
@@ -290,3 +292,83 @@ class TestObservabilityIntegration:
         assert 0.0 <= report["sessions"]["hit_ratio"] <= 1.0
         assert report["name_mapping"]["lookups"] > 0
         assert "metrics" in report
+
+
+class TestConditionalGets:
+    """ETag/If-None-Match on the result servlets: derived products are
+    immutable, so their registered checksums are strong validators."""
+
+    def _first_image_url(self, client, events):
+        response = client.get(
+            f"/hedc/analyze?hle={events[0]['hle_id']}&algorithm=histogram&n_bins=24"
+        )
+        assert response.status == 302
+        ana_page = client.get(response.headers["Location"])
+        match = re.search(r'src="(/hedc/image[^"]+)"', ana_page.text)
+        assert match is not None
+        return match.group(1).replace("&amp;", "&")
+
+    def test_image_served_with_etag_then_304(self, web_stack, logged_in_client):
+        _hedc, server, events = web_stack
+        url = self._first_image_url(logged_in_client, events)
+        first = server.handle(
+            HttpRequest.get(url, logged_in_client.cookies))
+        assert first.status == 200
+        etag = first.headers.get("ETag")
+        assert etag and etag.startswith('"')
+        revalidation = server.handle(
+            HttpRequest.get(url, logged_in_client.cookies,
+                            headers={"If-None-Match": etag}))
+        assert revalidation.status == 304
+        assert revalidation.body == b""
+        assert revalidation.headers["ETag"] == etag
+        stale = server.handle(
+            HttpRequest.get(url, logged_in_client.cookies,
+                            headers={"If-None-Match": '"other"'}))
+        assert stale.status == 200 and stale.body == first.body
+
+    def test_ana_page_served_with_etag_then_304(self, web_stack, logged_in_client):
+        hedc, server, events = web_stack
+        response = logged_in_client.get(
+            f"/hedc/analyze?hle={events[0]['hle_id']}&algorithm=histogram&n_bins=28"
+        )
+        assert response.status == 302
+        url = response.headers["Location"]
+        first = server.handle(HttpRequest.get(url, logged_in_client.cookies))
+        assert first.status == 200
+        etag = first.headers["ETag"]
+        revalidation = server.handle(
+            HttpRequest.get(url, logged_in_client.cookies,
+                            headers={"If-None-Match": etag}))
+        assert revalidation.status == 304
+        assert hedc.obs.registry.value("web.not_modified",
+                                       route="/hedc/ana") >= 1
+
+    def test_download_revalidates_by_checksum(self, web_stack, logged_in_client):
+        hedc, server, _events = web_stack
+        from repro.metadb import Select
+
+        unit = hedc.dm.io.execute(Select("raw_units"))[0]
+        url = f"/hedc/download?item={unit['item_id']}"
+        first = server.handle(HttpRequest.get(url, logged_in_client.cookies))
+        assert first.status == 200
+        etag = first.headers["ETag"]
+        revalidation = server.handle(
+            HttpRequest.get(url, logged_in_client.cookies,
+                            headers={"If-None-Match": etag}))
+        assert revalidation.status == 304
+
+    def test_thin_client_revalidation_cache(self, web_stack, logged_in_client):
+        hedc, _server, events = web_stack
+        url = self._first_image_url(logged_in_client, events)
+        revalidated = hedc.obs.counter("client.revalidated",
+                                       client=logged_in_client.client_ip)
+        before = revalidated.value
+        first = logged_in_client.get(url)
+        assert first.status == 200
+        second = logged_in_client.get(url)
+        # The client sent If-None-Match, the server answered 304, and the
+        # client replayed its cached body transparently.
+        assert second.status == 200
+        assert second.body == first.body
+        assert revalidated.value == before + 1
