@@ -261,6 +261,146 @@ def run_cache() -> None:
           f"resident={report['size_bytes']:,}B\n")
 
 
+def _write_bench(name: str, payload: dict) -> Path:
+    import json
+
+    path = Path(__file__).resolve().parent.parent / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def run_query() -> None:
+    import time
+
+    from repro.metadb import (
+        Column, ColumnType, Comparison, Database, In, Insert, Select,
+        TableSchema,
+    )
+
+    database = Database()
+    database.create_table(TableSchema(
+        "events",
+        [Column("event_id", ColumnType.INTEGER, nullable=False),
+         Column("start_time", ColumnType.REAL, nullable=False),
+         Column("rate", ColumnType.REAL, nullable=False)],
+        primary_key="event_id",
+        indexes=[("start_time",)],
+    ))
+    n_rows = 10_000
+    for index in range(n_rows):
+        database.execute(Insert("events", {
+            "event_id": index,
+            "start_time": float((index * 7919) % n_rows),
+            "rate": float((index * 37) % 1000),
+        }))
+    table = database.table("events")
+    select = Select("events", order_by=[("start_time", "desc")], limit=10)
+
+    def naive(statement):
+        # The seed executor: materialise every row, full sort, then slice.
+        rows = [dict(row) for row in table.rows()]
+        for column, direction in reversed(statement.order_by):
+            rows.sort(key=lambda row: row[column],
+                      reverse=direction == "desc")
+        stop = (statement.offset or 0) + statement.limit
+        return rows[statement.offset or 0:stop]
+
+    def best(fn, arg, calls, repeats=7):
+        fn(arg)
+        timing = float("inf")
+        for _repeat in range(repeats):
+            started = time.perf_counter()
+            for _call in range(calls):
+                fn(arg)
+            timing = min(timing, time.perf_counter() - started)
+        return timing / calls
+
+    assert database.execute(select) == naive(select)
+    streamed_s = best(database.execute, select, 200)
+    naive_s = best(naive, select, 20)
+    probe = Select("events", where=In("event_id", [12, 4321, 9876]))
+    probe_s = best(database.execute, probe, 200)
+    plan = database.explain_plan(select)
+    payload = {
+        "table_rows": n_rows,
+        "order_limit_query": {
+            "sql": "SELECT * FROM events ORDER BY start_time DESC LIMIT 10",
+            "plan": plan,
+            "naive_us_per_query": naive_s * 1e6,
+            "streamed_us_per_query": streamed_s * 1e6,
+            "speedup": naive_s / streamed_s,
+        },
+        "in_probe_query": {
+            "plan": database.explain_plan(probe),
+            "us_per_query": probe_s * 1e6,
+        },
+    }
+    path = _write_bench("BENCH_query_engine.json", payload)
+    print("Query engine (10k-row indexed table, ORDER BY + LIMIT 10)")
+    print(f"  naive (materialise+sort) : {naive_s * 1e6:10.1f} us/query")
+    print(f"  streamed (limit pushdown): {streamed_s * 1e6:10.1f} us/query")
+    print(f"  speedup                  : {naive_s / streamed_s:10.1f}x   "
+          f"(target: >= 3x)")
+    print(f"  IN-list probe (3 keys)   : {probe_s * 1e6:10.1f} us/query")
+    print(f"  wrote {path.name}\n")
+
+
+def run_backprojection() -> None:
+    import time
+    import tracemalloc
+
+    from repro.analysis import back_projection, back_projection_dense
+    from repro.rhessi import SolarFlare, TelemetryGenerator
+    from repro.rhessi.telemetry import ObservationPlan
+
+    plan = ObservationPlan(0.0, 240.0, background_rate=40.0)
+    plan.add(SolarFlare(start=40.0, duration=120.0, goes_class="M",
+                        position_arcsec=(250.0, -150.0)))
+    photons = TelemetryGenerator(plan, seed=31).generate()
+    from repro.rhessi import PhotonList
+
+    window = photons.select_time(40.0, 160.0).select_energy(6.0, 100.0)
+    if len(window) > 20_000:
+        window = PhotonList(window.times[:20_000], window.energies[:20_000],
+                            window.detectors[:20_000])
+    kwargs = {"n_pixels": 64, "source_position": (250.0, -150.0)}
+
+    def measure(fn, **extra):
+        tracemalloc.start()
+        started = time.perf_counter()
+        result = fn(window, **kwargs, **extra)
+        elapsed = time.perf_counter() - started
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return result, elapsed, peak
+
+    dense_result, dense_s, dense_peak = measure(back_projection_dense)
+    binned_result, binned_s, binned_peak = measure(back_projection,
+                                                   n_phase_bins=256)
+    payload = {
+        "n_photons": len(window),
+        "n_pixels": 64,
+        "n_phase_bins": 256,
+        "dense": {"wall_s": dense_s, "peak_bytes": dense_peak,
+                  "peak_position": dense_result.peak_position(),
+                  "dynamic_range": dense_result.dynamic_range()},
+        "binned": {"wall_s": binned_s, "peak_bytes": binned_peak,
+                   "peak_position": binned_result.peak_position(),
+                   "dynamic_range": binned_result.dynamic_range()},
+        "speedup": dense_s / binned_s,
+        "peak_memory_reduction": dense_peak / binned_peak,
+    }
+    path = _write_bench("BENCH_backprojection.json", payload)
+    print(f"Back-projection ({len(window):,} photons, 64 px, K=256)")
+    print(f"  dense  : {dense_s:7.3f} s, peak {dense_peak / 1e6:8.1f} MB")
+    print(f"  binned : {binned_s:7.3f} s, peak {binned_peak / 1e6:8.1f} MB")
+    print(f"  speedup: {dense_s / binned_s:.1f}x (target >= 5x), "
+          f"memory: {dense_peak / binned_peak:.1f}x lower (target >= 10x)")
+    print(f"  peak   : dense {dense_result.peak_position()} vs "
+          f"binned {binned_result.peak_position()}")
+    print(f"  wrote {path.name}\n")
+
+
 EXPERIMENTS = {
     "fig4": run_fig4,
     "fig5": run_fig5,
@@ -273,6 +413,8 @@ EXPERIMENTS = {
     "sec43": run_sec43,
     "resil": run_resil,
     "cache": run_cache,
+    "query": run_query,
+    "backprojection": run_backprojection,
 }
 
 

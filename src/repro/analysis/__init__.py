@@ -17,7 +17,13 @@ from .cost import (
     predict,
 )
 from .histogram import SUPPORTED_ATTRIBUTES, HistogramResult, histogram
-from .imaging import ImageResult, back_projection, clean_iterations
+from .imaging import (
+    DEFAULT_PHASE_BINS,
+    ImageResult,
+    back_projection,
+    back_projection_dense,
+    clean_iterations,
+)
 from .lightcurve import Lightcurve, lightcurve
 from .products import (
     AnalysisProduct,
@@ -31,6 +37,7 @@ __all__ = [
     "AnalysisProduct",
     "CLIENT_SPEED_FACTOR",
     "CostModel",
+    "DEFAULT_PHASE_BINS",
     "HISTOGRAM",
     "HistogramResult",
     "IMAGING",
@@ -44,6 +51,7 @@ __all__ = [
     "Spectrogram",
     "approximation_speedup",
     "back_projection",
+    "back_projection_dense",
     "clean_iterations",
     "histogram",
     "lightcurve",

@@ -29,8 +29,9 @@ from .predicate import (
     Or,
     Predicate,
 )
-from .query import Aggregate, Delete, Insert, Join, Select, Update
+from .query import Aggregate, Delete, Explain, Insert, Join, Plan, Select, Update
 from .schema import Column, ForeignKey, TableSchema
+from .storage import TableStats
 from .sql import parse, to_sql
 from .types import ColumnType, coerce
 
@@ -49,6 +50,7 @@ __all__ = [
     "DatabaseError",
     "DatabaseStats",
     "Delete",
+    "Explain",
     "ForeignKey",
     "In",
     "Insert",
@@ -59,6 +61,7 @@ __all__ = [
     "LockTimeout",
     "Not",
     "Or",
+    "Plan",
     "PoolSet",
     "Predicate",
     "QueryError",
@@ -66,6 +69,7 @@ __all__ = [
     "SchemaError",
     "Select",
     "TableSchema",
+    "TableStats",
     "TransactionError",
     "Update",
     "clone_database",

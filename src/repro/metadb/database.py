@@ -17,7 +17,7 @@ from typing import Any, Optional, Union
 from ..obs import Observability, resolve as resolve_obs
 from ..resil.faults import fire as fire_fault
 from .errors import ClosedError, IntegrityError, SchemaError, TransactionError
-from .query import Delete, Insert, Select, Update, execute_select, plan_select
+from .query import Delete, Explain, Insert, Plan, Select, Update, execute_select, plan_select
 from .schema import TableSchema
 from .sql import Statement, parse
 from .storage import Table
@@ -77,6 +77,9 @@ class Database:
         self._sequences: dict[tuple[str, str], int] = {}
         self.stats = DatabaseStats()
         self.obs = resolve_obs(obs)
+        # Per-access-path hit counters, cached so the hot SELECT path pays
+        # one dict lookup instead of a registry lookup with fresh labels.
+        self._plan_counters: dict[str, Any] = {}
         self._journal: Optional[Journal] = None
         if path is not None:
             self._journal = Journal(Path(path), obs=self.obs)
@@ -299,13 +302,33 @@ class Database:
         obs.observe("metadb.query_s", time.perf_counter() - started, db=self.name, op=op)
         return result
 
+    def _count_access_path(self, plan: Plan) -> None:
+        counter = self._plan_counters.get(plan.access)
+        if counter is None:
+            counter = self.obs.counter(
+                "metadb.access_path", db=self.name, access=plan.access
+            )
+            self._plan_counters[plan.access] = counter
+        counter.inc()
+
     def _execute_statement(self, statement: Statement, tx: Optional[Transaction]) -> Any:
         with self._lock:
             self._require_open()
             if tx is not None and tx.state is not TxState.ACTIVE:
                 raise TransactionError("transaction is not active")
+            if isinstance(statement, Explain):
+                select = statement.select
+                if select.table not in self._tables:
+                    raise SchemaError(f"unknown table {select.table!r}")
+                plan = plan_select(self._tables[select.table], select)
+                return [{"table": select.table, **plan.to_dict()}]
             if isinstance(statement, Select):
-                rows = execute_select(self._tables, statement)
+                table = self._tables.get(statement.table)
+                if table is None:
+                    raise SchemaError(f"unknown table {statement.table!r}")
+                plan = plan_select(table, statement)
+                self._count_access_path(plan)
+                rows = execute_select(self._tables, statement, plan=plan)
                 self.stats.selects += 1
                 self.stats.rows_read += len(rows)
                 return rows
@@ -334,10 +357,11 @@ class Database:
         if isinstance(statement, Update):
             table = self.table(statement.table)
             where = statement.where
+            matcher = where.compile() if where is not None else None
             target_rowids = [
                 rowid
                 for rowid in table.rowids()
-                if where is None or where.matches(table.row(rowid))
+                if matcher is None or matcher(table.row(rowid))
             ]
             preview = table.schema.normalize_row(statement.changes, for_update=True)
             for rowid in target_rowids:
@@ -351,10 +375,11 @@ class Database:
         if isinstance(statement, Delete):
             table = self.table(statement.table)
             where = statement.where
+            matcher = where.compile() if where is not None else None
             target_rowids = [
                 rowid
                 for rowid in table.rowids()
-                if where is None or where.matches(table.row(rowid))
+                if matcher is None or matcher(table.row(rowid))
             ]
             for rowid in target_rowids:
                 self._check_fk_on_delete(table, table.row(rowid))
@@ -367,10 +392,18 @@ class Database:
 
     def explain(self, select: Union[Select, str]) -> str:
         """EXPLAIN: describe the access path the planner would choose."""
+        return self.explain_plan(select)["description"]
+
+    def explain_plan(self, select: Union[Select, Explain, str]) -> dict[str, Any]:
+        """Full EXPLAIN output: access path, cardinality estimate against
+        current table statistics, and executor strategy flags
+        (``limit_pushdown``, ``topn``)."""
         if isinstance(select, str):
             select = parse(select)
+        if isinstance(select, Explain):
+            select = select.select
         if not isinstance(select, Select):
             raise SchemaError("explain only applies to SELECT")
         with self._lock:
             table = self.table(select.table)
-            return plan_select(table, select).describe()
+            return {"table": select.table, **plan_select(table, select).to_dict()}

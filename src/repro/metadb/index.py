@@ -62,6 +62,22 @@ class HashIndex:
     def probe(self, key: Hashable) -> set[int]:
         return set(self._map.get(key, ()))
 
+    def probe_many(self, keys: Iterable[Hashable]) -> Iterator[int]:
+        """Stream rowids for several keys (IN-list multi-probe).
+
+        A single-column index maps each rowid to exactly one key, so
+        chaining buckets never yields duplicates.
+        """
+        get = self._map.get
+        for key in keys:
+            bucket = get(key)
+            if bucket:
+                yield from bucket
+
+    def distinct_keys(self) -> int:
+        """Number of distinct non-null keys (planner selectivity input)."""
+        return len(self._map)
+
     def nulls(self) -> set[int]:
         return set(self._nulls)
 
@@ -101,15 +117,9 @@ class OrderedIndex:
                 del self._rowids[position]
                 return
 
-    def range(
-        self,
-        low: Any = None,
-        high: Any = None,
-        *,
-        low_inclusive: bool = True,
-        high_inclusive: bool = True,
-    ) -> Iterator[int]:
-        """Yield rowids whose key falls in [low, high] in key order."""
+    def _bounds(
+        self, low: Any, high: Any, low_inclusive: bool, high_inclusive: bool
+    ) -> tuple[int, int]:
         if low is None:
             start = 0
         elif low_inclusive:
@@ -122,12 +132,42 @@ class OrderedIndex:
             stop = bisect.bisect_right(self._keys, high)
         else:
             stop = bisect.bisect_left(self._keys, high)
-        for position in range(start, stop):
+        return start, stop
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        descending: bool = False,
+    ) -> Iterator[int]:
+        """Yield rowids whose key falls in [low, high] in key order.
+
+        ``descending=True`` walks the same positions backwards without
+        materialising the forward scan first.
+        """
+        start, stop = self._bounds(low, high, low_inclusive, high_inclusive)
+        positions = range(stop - 1, start - 1, -1) if descending else range(start, stop)
+        for position in positions:
             yield self._rowids[position]
+
+    def count_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        *,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> int:
+        """O(log n) count of keys in [low, high] (planner cardinality)."""
+        start, stop = self._bounds(low, high, low_inclusive, high_inclusive)
+        return max(0, stop - start)
 
     def scan(self, descending: bool = False) -> Iterator[int]:
         """Yield all non-null rowids in key order."""
-        return iter(self._rowids[::-1] if descending else self._rowids)
+        return reversed(self._rowids) if descending else iter(self._rowids)
 
     def nulls(self) -> set[int]:
         return set(self._nulls)

@@ -4,19 +4,31 @@ Predicates evaluate against a row dict and expose enough structure for the
 planner to recognise *sargable* shapes (equality and range constraints on
 indexed columns).  SQL three-valued logic is approximated: any comparison
 with NULL is false, IS NULL / IS NOT NULL are explicit nodes.
+
+Two evaluation paths exist: :meth:`Predicate.matches` walks the tree per
+row (virtual dispatch per node), while :meth:`Predicate.compile` returns a
+fused closure the executor calls once per candidate row — And/Or collapse
+their operands into a single function, so the hot filter loop pays no
+isinstance checks or method lookups.
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+RowMatcher = Callable[[dict], bool]
 
 
 class Predicate:
-    """Base class; subclasses implement :meth:`matches`."""
+    """Base class; subclasses implement :meth:`matches` and :meth:`compile`."""
 
     def matches(self, row: dict[str, Any]) -> bool:
+        raise NotImplementedError
+
+    def compile(self) -> RowMatcher:
+        """Return a ``row -> bool`` closure equivalent to :meth:`matches`."""
         raise NotImplementedError
 
     def __and__(self, other: "Predicate") -> "And":
@@ -64,6 +76,32 @@ class Comparison(Predicate):
         except TypeError:
             return False
 
+    def compile(self) -> RowMatcher:
+        column, value = self.column, self.value
+        if value is None:
+            return lambda row: False
+        if self.op == "=":
+            def match_eq(row: dict) -> bool:
+                actual = row.get(column)
+                return actual is not None and actual == value
+            return match_eq
+        if self.op == "!=":
+            def match_ne(row: dict) -> bool:
+                actual = row.get(column)
+                return actual is not None and actual != value
+            return match_ne
+        op = _OPS[self.op]
+
+        def match(row: dict) -> bool:
+            actual = row.get(column)
+            if actual is None:
+                return False
+            try:
+                return op(actual, value)
+            except TypeError:
+                return False
+        return match
+
     def columns(self) -> set[str]:
         return {self.column}
 
@@ -85,6 +123,19 @@ class Between(Predicate):
         except TypeError:
             return False
 
+    def compile(self) -> RowMatcher:
+        column, low, high = self.column, self.low, self.high
+
+        def match(row: dict) -> bool:
+            actual = row.get(column)
+            if actual is None:
+                return False
+            try:
+                return low <= actual <= high
+            except TypeError:
+                return False
+        return match
+
     def columns(self) -> set[str]:
         return {self.column}
 
@@ -99,6 +150,14 @@ class In(Predicate):
     def matches(self, row: dict[str, Any]) -> bool:
         actual = row.get(self.column)
         return actual is not None and actual in self.values
+
+    def compile(self) -> RowMatcher:
+        column, values = self.column, self.values
+
+        def match(row: dict) -> bool:
+            actual = row.get(column)
+            return actual is not None and actual in values
+        return match
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -121,11 +180,21 @@ class Like(Predicate):
                 parts.append(".")
             else:
                 parts.append(re.escape(char))
-        self._regex = re.compile(f"^{''.join(parts)}$", re.DOTALL)
+        # fullmatch, not a $-anchored match: "$" accepts a trailing newline
+        # ("abc\n" would match LIKE 'abc'), which SQL LIKE does not.
+        self._regex = re.compile("".join(parts), re.DOTALL)
 
     def matches(self, row: dict[str, Any]) -> bool:
         actual = row.get(self.column)
-        return isinstance(actual, str) and bool(self._regex.match(actual))
+        return isinstance(actual, str) and bool(self._regex.fullmatch(actual))
+
+    def compile(self) -> RowMatcher:
+        column, fullmatch = self.column, self._regex.fullmatch
+
+        def match(row: dict) -> bool:
+            actual = row.get(column)
+            return isinstance(actual, str) and fullmatch(actual) is not None
+        return match
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -140,6 +209,12 @@ class IsNull(Predicate):
         is_null = row.get(self.column) is None
         return not is_null if self.negated else is_null
 
+    def compile(self) -> RowMatcher:
+        column = self.column
+        if self.negated:
+            return lambda row: row.get(column) is not None
+        return lambda row: row.get(column) is None
+
     def columns(self) -> set[str]:
         return {self.column}
 
@@ -150,6 +225,23 @@ class And(Predicate):
 
     def matches(self, row: dict[str, Any]) -> bool:
         return all(operand.matches(row) for operand in self.operands)
+
+    def compile(self) -> RowMatcher:
+        parts = tuple(operand.compile() for operand in self.operands)
+        if not parts:
+            return lambda row: True
+        if len(parts) == 1:
+            return parts[0]
+        if len(parts) == 2:
+            first, second = parts
+            return lambda row: first(row) and second(row)
+
+        def match(row: dict) -> bool:
+            for part in parts:
+                if not part(row):
+                    return False
+            return True
+        return match
 
     def columns(self) -> set[str]:
         result: set[str] = set()
@@ -165,6 +257,23 @@ class Or(Predicate):
     def matches(self, row: dict[str, Any]) -> bool:
         return any(operand.matches(row) for operand in self.operands)
 
+    def compile(self) -> RowMatcher:
+        parts = tuple(operand.compile() for operand in self.operands)
+        if not parts:
+            return lambda row: False
+        if len(parts) == 1:
+            return parts[0]
+        if len(parts) == 2:
+            first, second = parts
+            return lambda row: first(row) or second(row)
+
+        def match(row: dict) -> bool:
+            for part in parts:
+                if part(row):
+                    return True
+            return False
+        return match
+
     def columns(self) -> set[str]:
         result: set[str] = set()
         for operand in self.operands:
@@ -179,6 +288,10 @@ class Not(Predicate):
     def matches(self, row: dict[str, Any]) -> bool:
         return not self.operand.matches(row)
 
+    def compile(self) -> RowMatcher:
+        inner = self.operand.compile()
+        return lambda row: not inner(row)
+
     def columns(self) -> set[str]:
         return self.operand.columns()
 
@@ -188,6 +301,9 @@ class TruePredicate(Predicate):
 
     def matches(self, row: dict[str, Any]) -> bool:
         return True
+
+    def compile(self) -> RowMatcher:
+        return lambda row: True
 
     def columns(self) -> set[str]:
         return set()
@@ -213,6 +329,14 @@ def equality_on(predicate: Optional[Predicate], column: str) -> Optional[Any]:
     for conjunct in conjuncts(predicate):
         if isinstance(conjunct, Comparison) and conjunct.op == "=" and conjunct.column == column:
             return conjunct.value
+    return None
+
+
+def in_list_on(predicate: Optional[Predicate], column: str) -> Optional[frozenset]:
+    """If a conjunct restricts ``column`` to an IN-list, return its values."""
+    for conjunct in conjuncts(predicate):
+        if isinstance(conjunct, In) and conjunct.column == column:
+            return conjunct.values
     return None
 
 

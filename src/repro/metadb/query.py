@@ -4,21 +4,28 @@ The DM component of HEDC deliberately exposes *no* SQL in its API: callers
 build collection objects which the database layer "parses, analyzes,
 verifies and transforms into regular SQL queries" (paper §5.4).  These
 classes are those collection objects.  The planner picks an access path
-(primary-key probe, hash probe, ordered range scan, or full scan) from the
-table's indexes and the WHERE shape.
+(primary-key probe, hash probe, IN-list multi-probe, ordered range scan,
+or full scan) by costing every sargable conjunct against live table
+statistics, and the executor *streams*: the WHERE clause is compiled into
+a fused closure, LIMIT/OFFSET are pushed into index scans that stop
+early, and ORDER BY + LIMIT on an unordered stream uses a bounded Top-N
+heap instead of sorting everything.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Optional, Sequence
+import heapq
+from dataclasses import dataclass
+from itertools import islice
+from typing import Any, Iterator, Optional, Sequence
 
 from .errors import QueryError, SchemaError
 from .predicate import (
-    ALWAYS,
     Predicate,
+    TruePredicate,
     conjuncts,
     equality_on,
+    in_list_on,
     range_on,
 )
 from .storage import Table
@@ -93,58 +100,134 @@ class Delete:
     where: Optional[Predicate] = None
 
 
+@dataclass
+class Explain:
+    """``EXPLAIN SELECT ...`` — executes to the chosen plan, not rows."""
+
+    select: Select
+
+    @property
+    def table(self) -> str:
+        return self.select.table
+
+
 @dataclass(frozen=True)
 class Plan:
-    """Chosen access path; also the EXPLAIN output."""
+    """Chosen access path plus executor strategy; also the EXPLAIN output."""
 
-    access: str            # "pk_probe" | "hash_probe" | "range_scan" | "full_scan"
+    #: "pk_probe" | "hash_probe" | "in_probe" | "range_scan" | "full_scan"
+    access: str
     index_column: Optional[str] = None
-    ordered: bool = False  # True when the scan already satisfies ORDER BY
+    ordered: bool = False   # True when the scan already satisfies ORDER BY
+    keys: Optional[tuple] = None        # IN multi-probe keys, deterministic order
+    estimated_rows: int = 0             # planner cardinality estimate
+    table_rows: int = 0                 # statistics snapshot the estimate used
+    limit_pushdown: bool = False        # executor stops the scan at OFFSET+LIMIT
+    topn: bool = False                  # bounded heap instead of full sort
 
     def describe(self) -> str:
         if self.access == "full_scan":
             return "FULL SCAN"
         return f"{self.access.upper()} on {self.index_column}"
 
+    def to_dict(self) -> dict[str, Any]:
+        """EXPLAIN row: the full plan as a plain dict."""
+        return {
+            "access": self.access,
+            "index_column": self.index_column,
+            "ordered": self.ordered,
+            "in_keys": len(self.keys) if self.keys is not None else None,
+            "estimated_rows": self.estimated_rows,
+            "table_rows": self.table_rows,
+            "limit_pushdown": self.limit_pushdown,
+            "topn": self.topn,
+            "description": self.describe(),
+        }
+
 
 def plan_select(table: Table, select: Select) -> Plan:
-    """Pick the cheapest access path for ``select`` on ``table``."""
+    """Cost every sargable conjunct against table statistics, pick cheapest.
+
+    Candidate access paths are ranked by estimated output cardinality
+    (rows the executor must touch); ties break towards cheaper probe
+    kinds (pk < unique/hash < IN multi-probe < range).
+    """
     where = select.where
-    # 1. primary-key / unique hash probe on an equality conjunct.
-    for conjunct_columns in _equality_columns(where):
-        index = table.hash_index_on(conjunct_columns)
-        if index is not None:
-            access = "pk_probe" if index.name == "pk" else "hash_probe"
-            return Plan(access, conjunct_columns)
-    # 2. ordered range scan on a range-constrained indexed column.
-    for column in _range_columns(where):
-        if table.ordered_index_on(column) is not None:
-            ordered = bool(select.order_by) and select.order_by[0][0] == column
-            return Plan("range_scan", column, ordered=ordered)
-    # 3. ordered scan that satisfies ORDER BY even without a range.
-    if select.order_by:
+    stats = table.stats()
+    n_rows = stats.row_count
+    candidates: list[tuple[int, int, Plan]] = []
+
+    seen: set[str] = set()
+    for conjunct in conjuncts(where):
+        for column in conjunct.columns():
+            if column in seen:
+                continue
+            seen.add(column)
+            index = table.hash_index_on(column)
+            if index is not None and equality_on(where, column) is not None:
+                per_key = stats.rows_per_key.get(column, 1.0)
+                estimate = max(1, round(per_key))
+                access = "pk_probe" if index.name == "pk" else "hash_probe"
+                rank = 0 if access == "pk_probe" else 1
+                candidates.append(
+                    (estimate, rank, Plan(access, column, estimated_rows=estimate,
+                                          table_rows=n_rows))
+                )
+                continue
+            if index is not None:
+                in_values = in_list_on(where, column)
+                if in_values is not None:
+                    keys = tuple(sorted(in_values, key=repr))
+                    per_key = stats.rows_per_key.get(column, 1.0)
+                    estimate = max(1, round(per_key * len(keys)))
+                    candidates.append(
+                        (estimate, 2, Plan("in_probe", column, keys=keys,
+                                           estimated_rows=estimate, table_rows=n_rows))
+                    )
+            ordered_index = table.ordered_index_on(column)
+            if ordered_index is not None:
+                bounds = range_on(where, column)
+                if bounds is not None:
+                    low, high, low_inclusive, high_inclusive = bounds
+                    estimate = ordered_index.count_range(
+                        low, high,
+                        low_inclusive=low_inclusive, high_inclusive=high_inclusive,
+                    )
+                    ordered = (
+                        len(select.order_by) == 1 and select.order_by[0][0] == column
+                    )
+                    candidates.append(
+                        (estimate, 3, Plan("range_scan", column, ordered=ordered,
+                                           estimated_rows=estimate, table_rows=n_rows))
+                    )
+
+    if candidates:
+        _estimate, _rank, plan = min(candidates, key=lambda item: (item[0], item[1]))
+        return _finalize(plan, select)
+    # Ordered scan that satisfies ORDER BY even without a range constraint.
+    if len(select.order_by) == 1:
         first_column = select.order_by[0][0]
-        if table.ordered_index_on(first_column) is not None and len(select.order_by) == 1:
-            return Plan("range_scan", first_column, ordered=True)
-    return Plan("full_scan")
+        if table.ordered_index_on(first_column) is not None:
+            plan = Plan("range_scan", first_column, ordered=True,
+                        estimated_rows=n_rows, table_rows=n_rows)
+            return _finalize(plan, select)
+    return _finalize(Plan("full_scan", estimated_rows=n_rows, table_rows=n_rows), select)
 
 
-def _equality_columns(where: Optional[Predicate]) -> Iterator[str]:
-    seen = set()
-    for conjunct in conjuncts(where):
-        for column in conjunct.columns():
-            if column not in seen and equality_on(where, column) is not None:
-                seen.add(column)
-                yield column
-
-
-def _range_columns(where: Optional[Predicate]) -> Iterator[str]:
-    seen = set()
-    for conjunct in conjuncts(where):
-        for column in conjunct.columns():
-            if column not in seen and range_on(where, column) is not None:
-                seen.add(column)
-                yield column
+def _finalize(plan: Plan, select: Select) -> Plan:
+    """Annotate the access path with the executor strategy it enables."""
+    streamable = not select.aggregates and select.join is None
+    order_satisfied = not select.order_by or (plan.ordered and len(select.order_by) == 1)
+    bounded = select.limit is not None
+    limit_pushdown = streamable and bounded and order_satisfied
+    topn = streamable and bounded and not order_satisfied and bool(select.order_by)
+    if limit_pushdown == plan.limit_pushdown and topn == plan.topn:
+        return plan
+    return Plan(
+        plan.access, plan.index_column, ordered=plan.ordered, keys=plan.keys,
+        estimated_rows=plan.estimated_rows, table_rows=plan.table_rows,
+        limit_pushdown=limit_pushdown, topn=topn,
+    )
 
 
 def _candidate_rows(table: Table, select: Select, plan: Plan) -> Iterator[dict[str, Any]]:
@@ -155,23 +238,30 @@ def _candidate_rows(table: Table, select: Select, plan: Plan) -> Iterator[dict[s
         for rowid in index.probe(key):
             yield table.row(rowid)
         return
+    if plan.access == "in_probe":
+        index = table.hash_index_on(plan.index_column)
+        row = table.row
+        for rowid in index.probe_many(plan.keys):
+            yield row(rowid)
+        return
     if plan.access == "range_scan":
         ordered_index = table.ordered_index_on(plan.index_column)
         bounds = range_on(where, plan.index_column)
-        descending = plan.ordered and select.order_by and select.order_by[0][1] == "desc"
+        descending = bool(
+            plan.ordered and select.order_by and select.order_by[0][1] == "desc"
+        )
         if bounds is None:
-            rowids: Iterable[int] = ordered_index.scan(descending=bool(descending))
+            rowids = ordered_index.scan(descending=descending)
         else:
             low, high, low_inclusive, high_inclusive = bounds
-            rowids = list(
-                ordered_index.range(
-                    low, high, low_inclusive=low_inclusive, high_inclusive=high_inclusive
-                )
+            rowids = ordered_index.range(
+                low, high,
+                low_inclusive=low_inclusive, high_inclusive=high_inclusive,
+                descending=descending,
             )
-            if descending:
-                rowids = reversed(list(rowids))
+        row = table.row
         for rowid in rowids:
-            yield table.row(rowid)
+            yield row(rowid)
         return
     yield from table.rows()
 
@@ -185,14 +275,53 @@ def _project(row: dict[str, Any], columns: Optional[Sequence[str]]) -> dict[str,
         raise QueryError(f"unknown output column {exc.args[0]!r}") from exc
 
 
+class _Desc:
+    """Inverts comparisons so a single ascending sort yields DESC order."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __eq__(self, other: "_Desc") -> bool:
+        return self.value == other.value
+
+    def __lt__(self, other: "_Desc") -> bool:
+        return other.value < self.value
+
+
+def _order_key(order_by: Sequence[tuple[str, str]]):
+    """Tuple sort key with explicit NULLS-LAST semantics per column.
+
+    Each component is ``(is_null, value)`` so NULL never masquerades as a
+    literal (the old key substituted 0, interleaving NULLs with numeric
+    columns on DESC); NULLs sort last for both directions.
+    """
+    specs = tuple((column, direction == "desc") for column, direction in order_by)
+
+    def key(row: dict[str, Any]) -> tuple:
+        parts = []
+        for column, descending in specs:
+            value = row.get(column)
+            if value is None:
+                parts.append((True, None))
+            else:
+                parts.append((False, _Desc(value) if descending else value))
+        return tuple(parts)
+    return key
+
+
 def _apply_order(rows: list[dict[str, Any]], order_by: Sequence[tuple[str, str]]):
-    # Stable multi-key sort: apply keys right-to-left.
-    for column, direction in reversed(list(order_by)):
-        rows.sort(
-            key=lambda row: (row.get(column) is None, row.get(column) if row.get(column) is not None else 0),
-            reverse=(direction == "desc"),
-        )
+    rows.sort(key=_order_key(order_by))
     return rows
+
+
+def _top_n(
+    rows: Iterator[dict[str, Any]], order_by: Sequence[tuple[str, str]], n: int
+) -> list[dict[str, Any]]:
+    """Smallest ``n`` rows under the ORDER BY key, streamed through a
+    bounded heap — O(rows · log n) time, O(n) space."""
+    return heapq.nsmallest(n, rows, key=_order_key(order_by))
 
 
 def _aggregate(rows: list[dict[str, Any]], aggregates: Sequence[Aggregate]) -> dict[str, Any]:
@@ -220,25 +349,59 @@ def _aggregate(rows: list[dict[str, Any]], aggregates: Sequence[Aggregate]) -> d
     return out
 
 
-def execute_select(tables: dict[str, Table], select: Select) -> list[dict[str, Any]]:
-    """Run ``select`` against ``tables`` and return result rows."""
+def execute_select(
+    tables: dict[str, Table], select: Select, plan: Optional[Plan] = None
+) -> list[dict[str, Any]]:
+    """Run ``select`` against ``tables`` and return result rows.
+
+    The matched stream stays lazy end to end on the common paths: a
+    compiled WHERE closure filters candidates as the index scan produces
+    them, ``islice`` implements LIMIT/OFFSET pushdown (the scan stops at
+    OFFSET+LIMIT matches), and ORDER BY + LIMIT on an unordered stream
+    keeps only OFFSET+LIMIT rows in a heap.  Joins and aggregates still
+    materialise, as they must.
+    """
     if select.table not in tables:
         raise SchemaError(f"unknown table {select.table!r}")
     table = tables[select.table]
-    plan = plan_select(table, select)
-    where = select.where or ALWAYS
-    matched = [row for row in _candidate_rows(table, select, plan) if where.matches(row)]
+    if plan is None:
+        plan = plan_select(table, select)
+    where = select.where
+    candidates = _candidate_rows(table, select, plan)
+    if where is None or isinstance(where, TruePredicate):
+        matched_stream: Iterator[dict[str, Any]] = candidates
+    else:
+        matcher = where.compile()
+        matched_stream = (row for row in candidates if matcher(row))
+
     if select.join is not None:
-        matched = _execute_join(tables, select, matched)
+        matched = _execute_join(tables, select, list(matched_stream))
+        if select.aggregates:
+            return _execute_aggregates(matched, select)
+        if select.order_by:
+            _apply_order(matched, select.order_by)
+        if select.offset:
+            matched = matched[select.offset:]
+        if select.limit is not None:
+            matched = matched[: select.limit]
+        return [_project(row, select.columns) for row in matched]
+
     if select.aggregates:
-        return _execute_aggregates(matched, select)
-    if select.order_by and not (plan.ordered and len(select.order_by) == 1 and select.join is None):
+        return _execute_aggregates(list(matched_stream), select)
+
+    if plan.topn:
+        bounded = _top_n(matched_stream, select.order_by, select.offset + select.limit)
+        rows = bounded[select.offset:]
+    elif select.order_by and not plan.ordered:
+        matched = list(matched_stream)
         _apply_order(matched, select.order_by)
-    if select.offset:
-        matched = matched[select.offset:]
-    if select.limit is not None:
-        matched = matched[: select.limit]
-    return [_project(row, select.columns) for row in matched]
+        stop = None if select.limit is None else select.offset + select.limit
+        rows = matched[select.offset:stop]
+    else:
+        # Scan order is the output order: push LIMIT/OFFSET into the scan.
+        stop = None if select.limit is None else select.offset + select.limit
+        rows = list(islice(matched_stream, select.offset, stop))
+    return [_project(row, select.columns) for row in rows]
 
 
 def _execute_join(

@@ -15,6 +15,7 @@ Supported grammar (case-insensitive keywords)::
     INSERT INTO table (cols) VALUES (vals)
     UPDATE table SET col = val, ... [WHERE pred]
     DELETE FROM table [WHERE pred]
+    EXPLAIN SELECT ...                (returns the chosen plan, not rows)
 
     select_list := * | expr, ...        expr := col | FUNC(col|*) [AS alias]
     pred := disjunction of conjunctions of comparisons, BETWEEN, IN,
@@ -38,9 +39,9 @@ from .predicate import (
     Or,
     Predicate,
 )
-from .query import Aggregate, Delete, Insert, Select, Update
+from .query import Aggregate, Delete, Explain, Insert, Select, Update
 
-Statement = Union[Select, Insert, Update, Delete]
+Statement = Union[Select, Insert, Update, Delete, Explain]
 
 _TOKEN_RE = re.compile(
     r"""
@@ -59,7 +60,7 @@ _KEYWORDS = {
     "select", "from", "where", "group", "order", "by", "limit", "offset",
     "insert", "into", "values", "update", "set", "delete", "and", "or",
     "not", "between", "in", "like", "is", "null", "asc", "desc", "as",
-    "true", "false",
+    "true", "false", "explain",
 }
 
 
@@ -143,6 +144,12 @@ class _Parser:
         token = self._peek()
         if token is None:
             raise QueryError("empty SQL statement")
+        if token.kind == "keyword" and token.value == "explain":
+            self._next()
+            inner = self.statement()
+            if not isinstance(inner, Select):
+                raise QueryError("EXPLAIN only applies to SELECT")
+            return Explain(inner)
         if token.kind == "keyword" and token.value == "select":
             return self._select()
         if token.kind == "keyword" and token.value == "insert":
@@ -392,6 +399,8 @@ def _predicate_sql(predicate: Predicate) -> str:
 
 def to_sql(statement: Statement) -> str:
     """Render a collection object back to SQL text."""
+    if isinstance(statement, Explain):
+        return "EXPLAIN " + to_sql(statement.select)
     if isinstance(statement, Select):
         parts = []
         if statement.aggregates or statement.group_by:

@@ -9,11 +9,34 @@ enforcement needs cross-table visibility and therefore lives in
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
 
 from .errors import IntegrityError, SchemaError
 from .index import HashIndex, OrderedIndex
 from .schema import TableSchema
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Live statistics the planner costs access paths with.
+
+    ``rows_per_key`` maps an indexed column to the average bucket size of
+    its hash index (1.0 for unique indexes) — the per-probe cardinality
+    estimate.  Ordered indexes answer range cardinalities directly via
+    :meth:`OrderedIndex.count_range`, so only their presence is recorded.
+    """
+
+    row_count: int
+    rows_per_key: dict[str, float]
+    ordered_columns: tuple[str, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "row_count": self.row_count,
+            "rows_per_key": dict(self.rows_per_key),
+            "ordered_columns": list(self.ordered_columns),
+        }
 
 
 class Table:
@@ -70,6 +93,25 @@ class Table:
 
     def has_index_on(self, column: str) -> bool:
         return self.hash_index_on(column) is not None or column in self._ordered_indexes
+
+    def stats(self) -> TableStats:
+        """Current planner statistics; O(#indexes), computed from live indexes."""
+        rows = len(self._rows)
+        rows_per_key: dict[str, float] = {}
+        for index in self._hash_indexes:
+            if len(index.columns) != 1:
+                continue
+            column = index.columns[0]
+            if index.unique:
+                rows_per_key[column] = 1.0
+            else:
+                distinct = index.distinct_keys()
+                rows_per_key[column] = rows / distinct if distinct else float(rows)
+        return TableStats(
+            row_count=rows,
+            rows_per_key=rows_per_key,
+            ordered_columns=tuple(self._ordered_indexes),
+        )
 
     # -- mutation ----------------------------------------------------------
 

@@ -1,5 +1,7 @@
 """Tests for predicates, indexes, planning and query execution."""
 
+import random
+
 import pytest
 
 from repro.metadb import (
@@ -59,6 +61,14 @@ class TestPredicates:
 
     def test_like_non_string_is_false(self):
         assert not Like("s", "%").matches({"s": 5})
+
+    def test_like_rejects_trailing_newline(self):
+        # Regression: a $-anchored re.match accepted "abc\n" for LIKE 'abc'.
+        assert not Like("s", "abc").matches({"s": "abc\n"})
+        assert not Like("s", "ab_").matches({"s": "abc\n"})
+        assert Like("s", "abc").matches({"s": "abc"})
+        assert Like("s", "abc%").matches({"s": "abc\n"})  # % may span newlines
+        assert Like("s", "ab_").matches({"s": "ab\n"})    # _ is any single char
 
     def test_is_null(self):
         assert IsNull("x").matches({"x": None})
@@ -309,6 +319,183 @@ class TestJoin:
         assert len(rows) == 3
         flare_rows = [row for row in rows if row["kind"] == "flare"]
         assert {row["ana_id"] for row in flare_rows} == {10, 11}
+
+
+def _random_predicate(rng: random.Random, depth: int = 0):
+    """A random predicate tree covering every node type."""
+    columns = ("a", "b", "c")
+    scalars = (0, 1, 5, -3, 2.5, "x", "flare", "")
+    kind = rng.randrange(9 if depth < 3 else 6)
+    column = rng.choice(columns)
+    if kind == 0:
+        return Comparison(column, rng.choice(["=", "!=", "<", "<=", ">", ">="]),
+                          rng.choice(scalars + (None,)))
+    if kind == 1:
+        low, high = rng.choice(scalars), rng.choice(scalars)
+        return Between(column, low, high)
+    if kind == 2:
+        return In(column, [rng.choice(scalars) for _ in range(rng.randrange(1, 4))])
+    if kind == 3:
+        return Like(column, rng.choice(["fla%", "f_are", "%", "x", "", "%a%"]))
+    if kind == 4:
+        return IsNull(column, negated=rng.random() < 0.5)
+    if kind == 5:
+        from repro.metadb.predicate import ALWAYS
+        return ALWAYS
+    if kind == 6:
+        return Not(_random_predicate(rng, depth + 1))
+    operands = [_random_predicate(rng, depth + 1) for _ in range(rng.randrange(1, 4))]
+    return And(operands) if kind == 7 else Or(operands)
+
+
+def _random_row(rng: random.Random) -> dict:
+    values = (0, 1, 5, -3, 2.5, "x", "flare", "", "abc\n", None)
+    return {column: rng.choice(values) for column in ("a", "b", "c")}
+
+
+class TestPredicateCompilation:
+    def test_differential_compile_vs_matches(self):
+        """compile()(row) must agree with matches(row) for every node type."""
+        rng = random.Random(1234)
+        for _trial in range(300):
+            predicate = _random_predicate(rng)
+            compiled = predicate.compile()
+            for _row in range(20):
+                row = _random_row(rng)
+                assert compiled(row) == predicate.matches(row), (predicate, row)
+
+    def test_fused_and_or_closures(self):
+        predicate = And([Comparison("a", ">", 1), Comparison("a", "<", 5),
+                         Or([Comparison("b", "=", 0), IsNull("c")])])
+        compiled = predicate.compile()
+        assert compiled({"a": 3, "b": 0, "c": 1})
+        assert compiled({"a": 3, "b": 9, "c": None})
+        assert not compiled({"a": 3, "b": 9, "c": 1})
+        assert not compiled({"a": 9, "b": 0, "c": None})
+
+
+@pytest.fixture()
+def nullable_db() -> Database:
+    database = Database()
+    database.create_table(
+        TableSchema(
+            "m",
+            [
+                Column("id", ColumnType.INTEGER, nullable=False),
+                Column("score", ColumnType.REAL),
+            ],
+            primary_key="id",
+        )
+    )
+    for row_id, score in ((1, 5.0), (2, None), (3, -1.0), (4, None), (5, 0.0)):
+        database.execute(Insert("m", {"id": row_id, "score": score}))
+    return database
+
+
+class TestNullOrdering:
+    def test_nulls_last_ascending(self, nullable_db):
+        rows = nullable_db.execute(Select("m", order_by=[("score", "asc")]))
+        assert [row["id"] for row in rows] == [3, 5, 1, 2, 4]
+
+    def test_nulls_last_descending(self, nullable_db):
+        # NULL must not be treated as 0: it sorts after every real value
+        # in both directions, and never interleaves with negatives.
+        rows = nullable_db.execute(Select("m", order_by=[("score", "desc")]))
+        assert [row["id"] for row in rows] == [1, 5, 3, 2, 4]
+
+    def test_nulls_last_with_limit_topn(self, nullable_db):
+        rows = nullable_db.execute(Select("m", order_by=[("score", "desc")], limit=3))
+        assert [row["id"] for row in rows] == [1, 5, 3]
+
+
+class TestPlannerAndExplain:
+    def test_explain_plan_pk_probe(self, events_db):
+        plan = events_db.explain_plan(Select("events", where=Comparison("event_id", "=", 7)))
+        assert plan["access"] == "pk_probe"
+        assert plan["index_column"] == "event_id"
+        assert plan["estimated_rows"] == 1
+        assert plan["table_rows"] == 40
+
+    def test_explain_plan_in_multi_probe(self, events_db):
+        select = Select("events", where=In("event_id", [3, 5, 8]))
+        plan = events_db.explain_plan(select)
+        assert plan["access"] == "in_probe"
+        assert plan["in_keys"] == 3
+        rows = events_db.execute(select)
+        assert sorted(row["event_id"] for row in rows) == [3, 5, 8]
+
+    def test_explain_plan_topn(self, events_db):
+        plan = events_db.explain_plan(
+            Select("events", order_by=[("rate", "desc")], limit=5)
+        )
+        assert plan["topn"] is True
+        assert plan["limit_pushdown"] is False
+
+    def test_explain_plan_limit_pushdown(self, events_db):
+        plan = events_db.explain_plan(
+            Select("events", order_by=[("start_time", "desc")], limit=5)
+        )
+        assert plan["access"] == "range_scan"
+        assert plan["ordered"] is True
+        assert plan["limit_pushdown"] is True
+        assert plan["topn"] is False
+
+    def test_planner_prefers_selective_conjunct(self, events_db):
+        # kind has no index; start_time's range narrows to 3 rows while a
+        # hypothetical full scan would touch 40 — the range must win.
+        select = Select(
+            "events",
+            where=And([
+                Comparison("kind", "=", "flare"),
+                Between("start_time", 0.0, 20.0),
+            ]),
+        )
+        plan = events_db.explain_plan(select)
+        assert plan["access"] == "range_scan"
+        assert plan["index_column"] == "start_time"
+        assert plan["estimated_rows"] == 3
+
+    def test_planner_prefers_probe_over_wide_range(self, events_db):
+        # Equality on the pk (1 row) must beat a range covering all rows.
+        select = Select(
+            "events",
+            where=And([
+                Comparison("event_id", "=", 7),
+                Between("start_time", 0.0, 1e9),
+            ]),
+        )
+        plan = events_db.explain_plan(select)
+        assert plan["access"] == "pk_probe"
+
+    def test_explain_statement_execution(self, events_db):
+        rows = events_db.execute("EXPLAIN SELECT * FROM events WHERE event_id = 7")
+        assert rows[0]["access"] == "pk_probe"
+        assert rows[0]["table"] == "events"
+
+    def test_access_path_counters_mirrored(self, events_db):
+        events_db.execute(Select("events", where=Comparison("event_id", "=", 7)))
+        counter = events_db.obs.counter(
+            "metadb.access_path", db=events_db.name, access="pk_probe"
+        )
+        assert counter.value >= 1
+
+    def test_descending_bounded_range_streams_in_order(self, events_db):
+        rows = events_db.execute(
+            Select(
+                "events",
+                where=Between("start_time", 100.0, 200.0),
+                order_by=[("start_time", "desc")],
+                limit=4,
+            )
+        )
+        assert [row["start_time"] for row in rows] == [200.0, 190.0, 180.0, 170.0]
+
+    def test_topn_matches_full_sort(self, events_db):
+        full = events_db.execute(Select("events", order_by=[("rate", "asc"), ("event_id", "desc")]))
+        bounded = events_db.execute(
+            Select("events", order_by=[("rate", "asc"), ("event_id", "desc")], limit=7, offset=3)
+        )
+        assert bounded == full[3:10]
 
 
 class TestUpdateDelete:

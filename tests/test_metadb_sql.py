@@ -10,6 +10,7 @@ from repro.metadb import (
     Comparison,
     Database,
     Delete,
+    Explain,
     In,
     Insert,
     IsNull,
@@ -111,6 +112,38 @@ class TestParseSelect:
 
     def test_scientific_notation(self):
         assert parse("SELECT * FROM t WHERE x > 1.5e3").where.value == 1500.0
+
+
+class TestExplain:
+    def test_parse_explain_select(self):
+        statement = parse("EXPLAIN SELECT * FROM hle WHERE hle_id = 3")
+        assert isinstance(statement, Explain)
+        assert isinstance(statement.select, Select)
+        assert statement.table == "hle"
+
+    def test_explain_requires_select(self):
+        with pytest.raises(QueryError):
+            parse("EXPLAIN DELETE FROM t WHERE a < 0")
+
+    def test_explain_round_trip(self):
+        sql = "EXPLAIN SELECT * FROM hle WHERE hle_id = 3"
+        assert to_sql(parse(sql)) == sql
+
+    def test_explain_executes_to_plan_row(self):
+        database = Database()
+        database.create_table(
+            TableSchema(
+                "hle",
+                [Column("hle_id", ColumnType.INTEGER, nullable=False)],
+                primary_key="hle_id",
+            )
+        )
+        database.execute(Insert("hle", {"hle_id": 3}))
+        rows = database.execute("EXPLAIN SELECT * FROM hle WHERE hle_id = 3")
+        assert len(rows) == 1
+        assert rows[0]["table"] == "hle"
+        assert rows[0]["access"] == "pk_probe"
+        assert rows[0]["description"] == "PK_PROBE on hle_id"
 
 
 class TestParseDml:
