@@ -1,0 +1,86 @@
+"""Capture a live diagnostics panel and profile from a small deployment.
+
+CI runs this in the bench job and uploads the two outputs as artifacts,
+so every build carries a browsable example of what the deep-diagnostics
+layer produces against real traffic:
+
+* ``DEBUG_capture.json`` — the ``/hedc/debug?format=json`` panel (usage
+  analytics, event log, slow ops, histogram exemplars, breaker/fault
+  state);
+* ``PROFILE_collapsed.txt`` — collapsed-stack sampler output, one
+  ``frame;frame;frame count`` line per distinct stack, ready for any
+  flamegraph renderer.
+
+Usage: ``PYTHONPATH=src python benchmarks/capture_debug.py``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core import Hedc
+from repro.obs import Observability
+from repro.resil import FaultInjector, use_injector
+from repro.web.http import HttpRequest
+
+
+def main() -> int:
+    obs = Observability(enabled=True)
+    obs.slowlog.configure("metadb.execute", 0.005)
+    obs.slowlog.configure("pl.run", 0.0)
+    obs.slowlog.configure("web.handle", 0.01)
+
+    workdir = Path(tempfile.mkdtemp(prefix="hedc-debug-"))
+    hedc = Hedc.create(workdir, obs=obs)
+    hedc.ingest_observation(duration_s=300.0, seed=17, unit_target_photons=150_000)
+    hedc.register_user("capture", "capture-pw", group="scientist")
+
+    client = hedc.thin_client()
+    assert client.login("capture", "capture-pw")
+    events = hedc.events()
+    assert events, "ingest must produce at least one HLE"
+    hle_id = events[0]["hle_id"]
+
+    # A pinch of seeded chaos so the event log in the capture shows real
+    # traffic: one slow statement and one survivable IDL crash/restart.
+    injector = FaultInjector(seed=17, obs=obs)
+    injector.inject("metadb.statement", rate=1.0, error=None,
+                    delay_s=0.02, times=1)
+    injector.inject("idl.crash", rate=1.0, times=1)
+
+    obs.profiler.start(hz=200.0)
+    try:
+        with use_injector(injector):
+            for _ in range(5):
+                client.browse_hle(hle_id)
+            user = hedc.login("capture", "capture-pw")
+            hedc.analyze(user, hle_id, "lightcurve", parameters={"n_bins": 16})
+            hedc.analyze(user, hle_id, "lightcurve", parameters={"n_bins": 32})
+            response = hedc.web.handle(
+                HttpRequest.get("/hedc/debug?format=json", {}, "127.0.0.1"))
+    finally:
+        samples = obs.profiler.stop()
+    assert response.status == 200
+
+    root = Path(__file__).resolve().parent.parent
+    debug_path = root / "DEBUG_capture.json"
+    debug_path.write_text(response.text, encoding="utf-8")
+
+    collapsed = obs.profiler.collapsed()
+    profile_path = root / "PROFILE_collapsed.txt"
+    profile_path.write_text(collapsed, encoding="utf-8")
+
+    panel = json.loads(response.text)
+    print(f"wrote {debug_path} "
+          f"({len(panel['events'])} events, {len(panel['slow_ops'])} slow ops, "
+          f"{len(panel['exemplars'])} exemplar series)")
+    stacks = len(collapsed.splitlines())
+    print(f"wrote {profile_path} ({samples} samples, {stacks} stacks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

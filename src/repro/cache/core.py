@@ -187,7 +187,7 @@ class Cache:
         else:
             self._policy = make_policy(policy, max_entries)
         self.stats = stats if stats is not None else CacheStats(name, obs=self.obs)
-        self._flight = SingleFlight()
+        self._flight = SingleFlight(obs=self.obs)
         register_cache(self)
 
     # -- internals ----------------------------------------------------------

@@ -15,37 +15,57 @@ from typing import Any, Callable, Hashable, Optional, Tuple
 
 
 class _Flight:
-    __slots__ = ("event", "value", "error", "followers")
+    __slots__ = ("event", "value", "error", "followers",
+                 "leader_trace_id", "leader_span_id")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.value: Any = None
         self.error: Optional[BaseException] = None
         self.followers = 0
+        self.leader_trace_id: Optional[int] = None
+        self.leader_span_id: Optional[int] = None
 
 
 class SingleFlight:
-    """One in-flight call per key; concurrent callers share the result."""
+    """One in-flight call per key; concurrent callers share the result.
 
-    def __init__(self) -> None:
+    With an :class:`~repro.obs.Observability` hub attached and tracing
+    enabled, the leader stamps its current span on the flight and each
+    follower tags its own span ``coalesced_with_trace``/``_span`` — so a
+    follower's trace tree points at the one span that actually did the
+    work.
+    """
+
+    def __init__(self, obs=None) -> None:
         self._lock = threading.Lock()
         self._flights: dict[Hashable, _Flight] = {}
+        self.obs = obs
         self.coalesced = 0      # calls that waited on another's work
 
     def do(self, key: Hashable, fn: Callable[[], Any]) -> Tuple[Any, bool]:
         """Run ``fn`` once per concurrent ``key``; returns ``(value,
         leader)`` where ``leader`` says whether *this* caller did the
         work."""
+        obs = self.obs
+        span = (obs.tracer.current()
+                if obs is not None and obs.enabled else None)
         with self._lock:
             flight = self._flights.get(key)
             if flight is None:
                 flight = _Flight()
+                if span is not None:
+                    flight.leader_trace_id = span.trace_id
+                    flight.leader_span_id = span.span_id
                 self._flights[key] = flight
                 leading = True
             else:
                 flight.followers += 1
                 self.coalesced += 1
                 leading = False
+        if not leading and span is not None and flight.leader_span_id is not None:
+            span.set_tag("coalesced_with_trace", flight.leader_trace_id)
+            span.set_tag("coalesced_with_span", flight.leader_span_id)
         if leading:
             try:
                 flight.value = fn()

@@ -16,6 +16,7 @@ from ..cache import cache_report
 from ..filestore import DiskArchive, StorageManager
 from ..metadb import Database
 from ..obs import Observability, resolve as resolve_obs
+from ..resil import breaker_report, get_default_injector
 from ..schema import install_all
 from ..security import User, UserManager
 from .io_layer import IoLayer
@@ -145,6 +146,15 @@ class DataManager:
                 "lookups": registry.family_total("dm.name_mapping.lookups"),
             },
             "caches": cache_report(self.obs),
+            "resilience": {
+                "breakers": breaker_report(self.obs),
+                "faults": get_default_injector().report(),
+            },
+            "diagnostics": {
+                "events": self.obs.events.total_emitted,
+                "slow_ops": self.obs.slowlog.total_recorded,
+                "profiler_running": self.obs.profiler.running,
+            },
             "io": self.io.stats.snapshot(),
             "metrics": registry.snapshot(),
         }

@@ -17,6 +17,7 @@ the domain schema — which :meth:`NameMapper.relocate_archive` does.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
@@ -158,8 +159,30 @@ class NameMapper:
     def resolve_files(self, item_id: str, role: Optional[str] = None) -> list[ResolvedName]:
         """Construct filenames for an item — the two indexed queries."""
         self._lookup_counters["file"].inc()
-        with self.obs.span("dm.name_mapping", item=item_id):
-            return self._resolve_files(item_id, role)
+        obs = self.obs
+        threshold = obs.slowlog.threshold_for("dm.name_mapping")
+        if threshold is None:
+            with obs.span("dm.name_mapping", item=item_id):
+                return self._resolve_files(item_id, role)
+        started = time.perf_counter()
+        with obs.span("dm.name_mapping", item=item_id):
+            try:
+                resolved = self._resolve_files(item_id, role)
+            except NameMappingError as exc:
+                elapsed = time.perf_counter() - started
+                if elapsed >= threshold:
+                    obs.slow_op("dm.name_mapping", elapsed, threshold,
+                                item_id=item_id, role=role, resolved=0,
+                                miss=str(exc))
+                raise
+            elapsed = time.perf_counter() - started
+            if elapsed >= threshold:
+                detail: dict = {"item_id": item_id, "role": role,
+                                "resolved": len(resolved)}
+                if not resolved:
+                    detail["miss"] = "no file entries for item"
+                obs.slow_op("dm.name_mapping", elapsed, threshold, **detail)
+            return resolved
 
     def _resolve_files(self, item_id: str, role: Optional[str]) -> list[ResolvedName]:
         entries = self._db.execute(

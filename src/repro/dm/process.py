@@ -76,6 +76,9 @@ class ProcessLayer:
     def bump_cache_epoch(self, reason: str) -> int:
         self.cache_epoch += 1
         self.io.obs.set_gauge("dm.cache_epoch", self.cache_epoch)
+        self.io.obs.event("info", "dm", "cache_epoch.bumped",
+                          f"cache epoch -> {self.cache_epoch} ({reason})",
+                          epoch=self.cache_epoch, reason=reason)
         self.io.log("process", f"cache epoch -> {self.cache_epoch} ({reason})")
         return self.cache_epoch
 

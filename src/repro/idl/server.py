@@ -102,6 +102,9 @@ class IdlServer:
         self.start()
         self.restarts += 1
         self.obs.count("idl.restarts", server=self.name)
+        self.obs.event("info", "idl", "server.restarted",
+                       f"IDL server {self.name!r} restarted",
+                       server=self.name, restarts=self.restarts)
 
     @property
     def available(self) -> bool:
@@ -154,6 +157,10 @@ class IdlServer:
             self.failures += 1
             with self._lock:
                 self.state = ServerState.CRASHED
+            self.obs.event("error", "idl", "server.crashed",
+                           f"IDL server {self.name!r} crashed: resource drain",
+                           server=self.name, reason="resource_drain",
+                           error=str(exc))
             return InvocationResult(
                 ok=False, error=f"resource drain: {exc}", steps=interpreter.steps_used
             )
@@ -171,6 +178,9 @@ class IdlServer:
             self.failures += 1
             with self._lock:
                 self.state = ServerState.CRASHED
+            self.obs.event("error", "idl", "server.crashed",
+                           f"IDL server {self.name!r} crashed: {exc}",
+                           server=self.name, reason="crash", error=str(exc))
             return InvocationResult(ok=False, error=f"crashed: {exc}")
         with self._lock:
             self.state = ServerState.READY

@@ -19,7 +19,7 @@ from ..resil.faults import fire as fire_fault
 from .errors import ClosedError, IntegrityError, SchemaError, TransactionError
 from .query import Delete, Explain, Insert, Plan, Select, Update, execute_select, plan_select
 from .schema import TableSchema
-from .sql import Statement, parse
+from .sql import Statement, parse, to_sql
 from .storage import Table
 from .transactions import Transaction, TxState
 from .wal import Journal
@@ -106,7 +106,9 @@ class Database:
                 for rowid, row in sorted(table_data["rows"].items()):
                     table.restore(rowid, row)
                 self._tables[schema.name] = table
+        replayed = 0
         for record in self._journal.replay():
+            replayed += 1
             operation = record["op"]
             if operation == "__ddl__":
                 if record["kind"] == "create_table":
@@ -122,6 +124,13 @@ class Database:
                 table.update(record["rowid"], record["changes"])
             elif operation == "delete":
                 table.delete(record["rowid"])
+        if snapshot is not None or replayed:
+            self.obs.event(
+                "info", "metadb", "wal.recovered",
+                f"database {self.name!r} recovered from WAL",
+                db=self.name, snapshot=snapshot is not None,
+                records_replayed=replayed, tables=len(self._tables),
+            )
 
     def checkpoint(self) -> None:
         """Write a snapshot and truncate the journal."""
@@ -291,16 +300,43 @@ class Database:
         """
         if isinstance(statement, str):
             statement = parse(statement)
-        fire_fault("metadb.statement")
         obs = self.obs
-        if not obs.enabled:
+        slow_threshold = obs.slowlog.threshold_for("metadb.execute")
+        if not obs.enabled and slow_threshold is None:
+            fire_fault("metadb.statement")
             return self._execute_statement(statement, tx)
         op = type(statement).__name__.lower()
+        # The clock starts before fire_fault so injected stalls show up in
+        # the slow log like any other slow statement would.
         started = time.perf_counter()
         with obs.span("metadb.execute", db=self.name, op=op, table=statement.table):
+            fire_fault("metadb.statement")
             result = self._execute_statement(statement, tx)
-        obs.observe("metadb.query_s", time.perf_counter() - started, db=self.name, op=op)
+            elapsed = time.perf_counter() - started
+            if obs.enabled:
+                obs.observe("metadb.query_s", elapsed, db=self.name, op=op)
+            if slow_threshold is not None and elapsed >= slow_threshold:
+                self._record_slow(statement, op, elapsed, slow_threshold)
         return result
+
+    def _record_slow(self, statement: Statement, op: str, elapsed_s: float,
+                     threshold_s: float) -> None:
+        """Attach the statement text — and, for SELECTs, the chosen access
+        plan — to a slow-log entry so the operator sees *why* it was slow."""
+        detail: dict[str, Any] = {"db": self.name, "op": op}
+        try:
+            detail["statement"] = to_sql(statement)
+        except Exception:
+            detail["statement"] = repr(statement)
+        if isinstance(statement, (Select, Explain)):
+            try:
+                detail["plan"] = self.explain_plan(statement)
+            except Exception:
+                pass
+        where = getattr(statement, "where", None)
+        if where is not None:
+            detail["predicate"] = str(where)
+        self.obs.slow_op("metadb.execute", elapsed_s, threshold_s, **detail)
 
     def _count_access_path(self, plan: Plan) -> None:
         counter = self._plan_counters.get(plan.access)

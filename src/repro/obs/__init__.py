@@ -18,6 +18,7 @@ collect, cheaply.  ``/hedc/metrics`` renders a deployment's registry and
 :meth:`repro.dm.DataManager.telemetry_report` summarises it.
 """
 
+from .events import SEVERITIES, Event, EventLog
 from .export import (
     InMemoryExporter,
     JsonExporter,
@@ -43,11 +44,34 @@ from .metrics import (
     MetricsRegistry,
     default_latency_buckets,
 )
+from .profile import SamplingProfiler, critical_path, span_self_times, trace_profile
+from .slowlog import SlowLog, SlowOp
 from .trace import NULL_SPAN, NULL_SPAN_CONTEXT, Span, Tracer
+from .usage import (
+    calibration_drift,
+    page_characteristics,
+    request_mix,
+    tier_time_split,
+    usage_report,
+)
 
 __all__ = [
     "Counter",
     "DEFAULT",
+    "Event",
+    "EventLog",
+    "SEVERITIES",
+    "SamplingProfiler",
+    "SlowLog",
+    "SlowOp",
+    "calibration_drift",
+    "critical_path",
+    "page_characteristics",
+    "request_mix",
+    "span_self_times",
+    "tier_time_split",
+    "trace_profile",
+    "usage_report",
     "Gauge",
     "Histogram",
     "InMemoryExporter",

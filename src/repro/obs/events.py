@@ -1,0 +1,163 @@
+"""A bounded, thread-safe structured event log.
+
+Metrics answer "how much / how fast"; traces answer "where did this
+request go"; the event log answers "*what happened* to the system" — the
+discrete control-plane transitions an operator greps for first when a
+deployment misbehaves: breaker trips, fault-injection firings, WAL
+recoveries, IDL interpreter crashes and restarts, cache-epoch bumps.
+
+Design constraints, in order:
+
+* **bounded** — a fixed-capacity ring buffer (:class:`collections.deque`
+  with ``maxlen``), so a flapping breaker can never exhaust memory;
+* **cheap** — one lock plus an append per emission, and emissions only
+  happen at rare state transitions, never on the per-request hot path;
+* **correlated** — every event captures the current trace/span IDs when
+  tracing is enabled, so a breaker trip links straight to the request
+  tree that caused it;
+* **exportable** — :meth:`EventLog.to_jsonl` renders JSON lines for
+  offline grep/jq, and :meth:`EventLog.snapshot` feeds ``/hedc/debug``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Optional
+
+#: Ordered severities; filtering with ``min_severity`` uses this ranking.
+SEVERITIES = ("debug", "info", "warn", "error")
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+class Event:
+    """One structured occurrence: what, where, when, and correlation."""
+
+    __slots__ = (
+        "seq", "t_monotonic", "severity", "component", "kind", "message",
+        "fields", "trace_id", "span_id",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        severity: str,
+        component: str,
+        kind: str,
+        message: str = "",
+        fields: Optional[dict[str, Any]] = None,
+        trace_id: Optional[int] = None,
+        span_id: Optional[int] = None,
+    ):
+        self.seq = seq
+        self.t_monotonic = time.monotonic()
+        self.severity = severity
+        self.component = component
+        self.kind = kind
+        self.message = message
+        self.fields: dict[str, Any] = fields or {}
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "t_monotonic": self.t_monotonic,
+            "severity": self.severity,
+            "component": self.component,
+            "kind": self.kind,
+            "message": self.message,
+            "fields": dict(self.fields),
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Event(#{self.seq} {self.severity} {self.component}."
+                f"{self.kind}: {self.message!r})")
+
+
+class EventLog:
+    """Fixed-capacity ring buffer of :class:`Event` records."""
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("event log capacity must be >= 1")
+        self.capacity = capacity
+        self.enabled = True
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+        self.total_emitted = 0
+
+    # -- writing ---------------------------------------------------------------
+
+    def emit(
+        self,
+        severity: str,
+        component: str,
+        kind: str,
+        message: str = "",
+        trace_id: Optional[int] = None,
+        span_id: Optional[int] = None,
+        **fields: Any,
+    ) -> Optional[Event]:
+        """Append one event; returns it (or ``None`` when disabled)."""
+        if not self.enabled:
+            return None
+        if severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {severity!r} (use one of {SEVERITIES})")
+        event = Event(
+            next(self._seq), severity, component, kind, message,
+            fields=fields or None, trace_id=trace_id, span_id=span_id,
+        )
+        with self._lock:
+            self._events.append(event)
+            self.total_emitted += 1
+        return event
+
+    # -- reading ---------------------------------------------------------------
+
+    def records(
+        self,
+        component: Optional[str] = None,
+        kind: Optional[str] = None,
+        min_severity: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> list[Event]:
+        """Retained events, oldest first, optionally filtered."""
+        with self._lock:
+            events = list(self._events)
+        if component is not None:
+            events = [e for e in events if e.component == component]
+        if kind is not None:
+            events = [e for e in events if e.kind == kind]
+        if min_severity is not None:
+            floor = _SEVERITY_RANK[min_severity]
+            events = [e for e in events if _SEVERITY_RANK[e.severity] >= floor]
+        if limit is not None:
+            events = events[-limit:]
+        return events
+
+    def find(self, kind: str) -> list[Event]:
+        return self.records(kind=kind)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def snapshot(self, limit: Optional[int] = None) -> list[dict[str, Any]]:
+        """JSON-ready dicts of the retained events (oldest first)."""
+        return [event.to_dict() for event in self.records(limit=limit)]
+
+    def to_jsonl(self) -> str:
+        """JSON-lines export — one event per line, grep/jq friendly."""
+        lines = [json.dumps(record, default=repr) for record in self.snapshot()]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()

@@ -21,7 +21,23 @@ from .trace import Tracer
 
 
 def _escape(value: str) -> str:
-    return str(value).replace(" ", "\\ ").replace(",", "\\,").replace("=", "\\=")
+    """Escape a measurement/tag key or value for line protocol.
+
+    Backslashes must be doubled *first* (so a literal ``\\ `` round-trips),
+    then the structural characters — space, comma, equals — and double
+    quotes, which otherwise open an unterminated string field in strict
+    parsers.  Newlines would split the series across lines, so they are
+    flattened to escaped spaces.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace(" ", "\\ ")
+        .replace("\n", "\\ ")
+        .replace(",", "\\,")
+        .replace("=", "\\=")
+        .replace('"', '\\"')
+    )
 
 
 def _series_name(name: str, labels: dict[str, str]) -> str:

@@ -17,7 +17,10 @@ from __future__ import annotations
 import time
 from typing import Any, Optional, Sequence
 
+from .events import EventLog
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import SamplingProfiler
+from .slowlog import SlowLog
 from .trace import NULL_SPAN_CONTEXT, Span, Tracer
 
 
@@ -44,14 +47,28 @@ class Timed:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.elapsed_s = time.perf_counter() - self._started
-        self._hub.registry.histogram(self._name, **self._labels).observe(self.elapsed_s)
+        histogram = self._hub.registry.histogram(self._name, **self._labels)
+        span = self.span
+        if span is not None:
+            histogram.observe(self.elapsed_s,
+                              exemplar=(span.trace_id, span.span_id))
+        else:
+            histogram.observe(self.elapsed_s)
         if self._span_cm is not None:
             return bool(self._span_cm.__exit__(exc_type, exc, tb))
         return False
 
 
 class Observability:
-    """A registry, a tracer, and the enabled switch binding them."""
+    """A registry, a tracer, and the enabled switch binding them.
+
+    The deep-diagnostics layer rides on the same hub: a bounded
+    :class:`~repro.obs.events.EventLog` (always available — emissions
+    only happen at rare state transitions), a
+    :class:`~repro.obs.slowlog.SlowLog` (off until a threshold is
+    configured) and a :class:`~repro.obs.profile.SamplingProfiler` (off
+    until started; owns no thread while stopped).
+    """
 
     def __init__(self, enabled: bool = False, max_finished_spans: int = 256,
                  name: str = "obs"):
@@ -59,6 +76,9 @@ class Observability:
         self.enabled = enabled
         self.registry = MetricsRegistry()
         self.tracer = Tracer(max_finished=max_finished_spans, name=name)
+        self.events = EventLog()
+        self.slowlog = SlowLog()
+        self.profiler = SamplingProfiler()
 
     # -- switch ----------------------------------------------------------------
 
@@ -73,6 +93,9 @@ class Observability:
     def reset(self) -> None:
         self.registry.reset()
         self.tracer.reset()
+        self.events.clear()
+        self.slowlog.clear()
+        self.profiler.reset()
 
     # -- metric shortcuts (always on) ------------------------------------------
 
@@ -90,7 +113,15 @@ class Observability:
         self.registry.counter(name, **labels).inc(amount)
 
     def observe(self, name: str, value: float, **labels: str) -> None:
-        self.registry.histogram(name, **labels).observe(value)
+        """Feed a histogram; when tracing is on and a span is current the
+        observation carries an exemplar linking bucket → trace."""
+        histogram = self.registry.histogram(name, **labels)
+        if self.enabled:
+            span = self.tracer.current()
+            if span is not None:
+                histogram.observe(value, exemplar=(span.trace_id, span.span_id))
+                return
+        histogram.observe(value)
 
     def set_gauge(self, name: str, value: float, **labels: str) -> None:
         self.registry.gauge(name, **labels).set(value)
@@ -109,6 +140,31 @@ class Observability:
     def timed(self, name: str, **labels: str) -> Timed:
         """Histogram timing (always) plus a span (when enabled)."""
         return Timed(self, name, labels)
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def event(self, severity: str, component: str, kind: str,
+              message: str = "", **fields: Any):
+        """Emit a structured event, correlated to the current trace/span
+        when tracing is enabled."""
+        trace_id = span_id = None
+        if self.enabled:
+            span = self.tracer.current()
+            if span is not None:
+                trace_id, span_id = span.trace_id, span.span_id
+        return self.events.emit(severity, component, kind, message,
+                                trace_id=trace_id, span_id=span_id, **fields)
+
+    def slow_op(self, name: str, duration_s: float, threshold_s: float,
+                **detail: Any):
+        """Record a slow operation, correlated like :meth:`event`."""
+        trace_id = span_id = None
+        if self.enabled:
+            span = self.tracer.current()
+            if span is not None:
+                trace_id, span_id = span.trace_id, span.span_id
+        return self.slowlog.record(name, duration_s, threshold_s,
+                                   trace_id=trace_id, span_id=span_id, **detail)
 
 
 #: The process-wide default hub; components fall back to it when no hub

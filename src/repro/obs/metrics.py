@@ -119,6 +119,13 @@ class Histogram(Metric):
     estimated by linear interpolation inside the covering bucket, with
     the observed min/max tightening the outermost buckets — accurate to
     a bucket width, which is what an operator dashboard needs.
+
+    **Exemplars** link buckets back to traces: an observation made with
+    ``exemplar=(trace_id, span_id)`` claims its bucket's exemplar slot
+    when it is the largest value seen there, so a latency spike on a
+    dashboard resolves directly to the trace tree (and slow-log entry)
+    that caused it.  Observations without an exemplar pay one ``is None``
+    check.
     """
 
     kind = "histogram"
@@ -134,12 +141,16 @@ class Histogram(Metric):
         if not self.bounds:
             raise ValueError("histogram needs at least one bucket bound")
         self._counts = [0] * (len(self.bounds) + 1)  # +1 overflow
+        # bucket index -> (value, trace_id, span_id) of the max observation
+        self._exemplars: dict[int, tuple[float, int, int]] = {}
         self.count = 0
         self.sum = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
 
-    def observe(self, value: float) -> None:
+    def observe(
+        self, value: float, exemplar: Optional[tuple[int, int]] = None
+    ) -> None:
         with self._lock:
             self.count += 1
             self.sum += value
@@ -147,7 +158,27 @@ class Histogram(Metric):
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
-            self._counts[self._bucket_index(value)] += 1
+            index = self._bucket_index(value)
+            self._counts[index] += 1
+            if exemplar is not None:
+                slot = self._exemplars.get(index)
+                if slot is None or value >= slot[0]:
+                    self._exemplars[index] = (value, exemplar[0], exemplar[1])
+
+    def exemplars(self) -> list[dict]:
+        """Per-bucket exemplars: bucket upper bound, max value seen with a
+        trace attached, and the trace/span IDs to resolve it."""
+        with self._lock:
+            slots = sorted(self._exemplars.items())
+        return [
+            {
+                "le": self.bounds[index] if index < len(self.bounds) else None,
+                "value": value,
+                "trace_id": trace_id,
+                "span_id": span_id,
+            }
+            for index, (value, trace_id, span_id) in slots
+        ]
 
     def _bucket_index(self, value: float) -> int:
         lo, hi = 0, len(self.bounds)
@@ -172,7 +203,7 @@ class Histogram(Metric):
 
     def snapshot(self) -> dict:
         with self._lock:
-            return {
+            snapshot = {
                 "type": self.kind,
                 "labels": dict(self.labels),
                 "count": self.count,
@@ -184,6 +215,17 @@ class Histogram(Metric):
                 "p95": self._quantile_unlocked(0.95),
                 "p99": self._quantile_unlocked(0.99),
             }
+            if self._exemplars:
+                snapshot["exemplars"] = [
+                    {
+                        "le": self.bounds[i] if i < len(self.bounds) else None,
+                        "value": value,
+                        "trace_id": trace_id,
+                        "span_id": span_id,
+                    }
+                    for i, (value, trace_id, span_id) in sorted(self._exemplars.items())
+                ]
+            return snapshot
 
     def _quantile_unlocked(self, q: float) -> float:
         # snapshot() already holds the lock; re-implement without it.
@@ -207,6 +249,7 @@ class Histogram(Metric):
     def reset(self) -> None:
         with self._lock:
             self._counts = [0] * (len(self.bounds) + 1)
+            self._exemplars.clear()
             self.count = 0
             self.sum = 0.0
             self.min = None

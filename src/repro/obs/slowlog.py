@@ -1,0 +1,144 @@
+"""Per-subsystem slow-operation capture with rich, per-tier detail.
+
+A latency histogram says "p99 spiked"; the slow log says *which*
+operation was slow and carries the evidence a human needs to act:
+
+* ``metadb.execute`` entries attach the chosen :meth:`explain_plan` dict
+  and the statement/predicate text;
+* ``pl.run`` entries attach the algorithm and the canonical parameter
+  fingerprint (the product-cache key);
+* ``dm.name_mapping`` entries attach the item id and whether the
+  construction came up empty (a miss — usually a stale location tuple).
+
+Cost model: unconfigured subsystems pay **one dict lookup** per call
+(:meth:`SlowLog.threshold_for` returns ``None`` and the call site takes
+its normal fast path), so the slow log is default-off in the same sense
+as tracing.  Configured subsystems pay one ``perf_counter`` pair, and
+only actual slow ops pay for detail capture.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Optional
+
+
+class SlowOp:
+    """One captured slow operation."""
+
+    __slots__ = ("name", "duration_s", "threshold_s", "t_monotonic",
+                 "trace_id", "span_id", "detail")
+
+    def __init__(
+        self,
+        name: str,
+        duration_s: float,
+        threshold_s: float,
+        trace_id: Optional[int] = None,
+        span_id: Optional[int] = None,
+        detail: Optional[dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.duration_s = duration_s
+        self.threshold_s = threshold_s
+        self.t_monotonic = time.monotonic()
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.detail: dict[str, Any] = detail or {}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "threshold_s": self.threshold_s,
+            "t_monotonic": self.t_monotonic,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "detail": dict(self.detail),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SlowOp({self.name!r}, {self.duration_s * 1e3:.1f}ms)"
+
+
+class SlowLog:
+    """Thresholded capture of slow operations, bounded per process.
+
+    Thresholds are keyed by subsystem name (``metadb.execute``,
+    ``dm.name_mapping``, ``pl.run``, ``pl.invoke``, ``web.handle``).
+    No thresholds configured → every call site short-circuits.
+    """
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("slow log capacity must be >= 1")
+        self._thresholds: dict[str, float] = {}
+        self._records: deque[SlowOp] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.total_recorded = 0
+
+    # -- configuration ---------------------------------------------------------
+
+    def configure(self, name: str, threshold_s: Optional[float]) -> None:
+        """Set (or with ``None`` remove) the slow threshold for ``name``."""
+        if threshold_s is None:
+            self._thresholds.pop(name, None)
+            return
+        if threshold_s < 0:
+            raise ValueError("threshold must be >= 0")
+        self._thresholds[name] = threshold_s
+
+    def threshold_for(self, name: str) -> Optional[float]:
+        """The configured threshold, or ``None`` — the hot-path check."""
+        return self._thresholds.get(name)
+
+    @property
+    def active(self) -> bool:
+        return bool(self._thresholds)
+
+    def thresholds(self) -> dict[str, float]:
+        return dict(self._thresholds)
+
+    # -- recording -------------------------------------------------------------
+
+    def record(
+        self,
+        name: str,
+        duration_s: float,
+        threshold_s: float,
+        trace_id: Optional[int] = None,
+        span_id: Optional[int] = None,
+        **detail: Any,
+    ) -> SlowOp:
+        op = SlowOp(name, duration_s, threshold_s, trace_id=trace_id,
+                    span_id=span_id, detail=detail or None)
+        with self._lock:
+            self._records.append(op)
+            self.total_recorded += 1
+        return op
+
+    # -- reading ---------------------------------------------------------------
+
+    def records(self, name: Optional[str] = None,
+                limit: Optional[int] = None) -> list[SlowOp]:
+        """Retained slow ops, oldest first, optionally filtered by name."""
+        with self._lock:
+            records = list(self._records)
+        if name is not None:
+            records = [record for record in records if record.name == name]
+        if limit is not None:
+            records = records[-limit:]
+        return records
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def snapshot(self, limit: Optional[int] = None) -> list[dict[str, Any]]:
+        return [record.to_dict() for record in self.records(limit=limit)]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()

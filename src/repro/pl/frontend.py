@@ -131,8 +131,18 @@ class Frontend:
         with self.obs.span("pl.run", algorithm=request.algorithm) as span:
             result = self._run_or_serve(request, estimate)
             span.set_tag("phase", result.phase.name.lower())
-        self.obs.observe("pl.request_s", time.perf_counter() - started,
-                         algorithm=request.algorithm)
+            elapsed = time.perf_counter() - started
+            self.obs.observe("pl.request_s", elapsed,
+                             algorithm=request.algorithm)
+            threshold = self.obs.slowlog.threshold_for("pl.run")
+            if threshold is not None and elapsed >= threshold:
+                self.obs.slow_op(
+                    "pl.run", elapsed, threshold,
+                    algorithm=request.algorithm,
+                    phase=result.phase.name.lower(),
+                    fingerprint=fingerprint(request.algorithm, request.hle_id,
+                                            request.parameters),
+                )
         self.obs.count("pl.requests", algorithm=request.algorithm,
                        phase=result.phase.name.lower())
         return result

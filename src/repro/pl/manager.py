@@ -216,8 +216,13 @@ class IdlServerManager:
             # outcome is a failure.
             self.breaker.record_failure()
             raise
-        self.obs.observe("pl.invoke_s", time.perf_counter() - started,
-                         node=self.node_name)
+        elapsed = time.perf_counter() - started
+        self.obs.observe("pl.invoke_s", elapsed, node=self.node_name)
+        threshold = self.obs.slowlog.threshold_for("pl.invoke")
+        if threshold is not None and elapsed >= threshold:
+            head = " ".join(source.split())[:120]
+            self.obs.slow_op("pl.invoke", elapsed, threshold,
+                             node=self.node_name, ok=result.ok, source=head)
         if not result.ok and result.error and "resource drain" in result.error:
             self.obs.count("pl.resource_drains", node=self.node_name)
         if result.ok:

@@ -96,7 +96,7 @@ class ProductCache:
         )
         self.stats = self._cache.stats
         #: Coalesces concurrent identical submits into one execution.
-        self.flight = SingleFlight()
+        self.flight = SingleFlight(obs=self.obs)
 
     # -- epoch --------------------------------------------------------------
 

@@ -23,7 +23,7 @@ All policies emit to :mod:`repro.obs`: ``resil.retries``,
 and ``resil.faults.injected``.
 """
 
-from .breaker import BreakerOpen, BreakerState, CircuitBreaker
+from .breaker import BreakerOpen, BreakerState, CircuitBreaker, breaker_report
 from .bulkhead import Bulkhead, BulkheadFull
 from .deadline import Deadline, DeadlineExceeded
 from .faults import (
@@ -45,6 +45,7 @@ from .wrapper import resilient
 __all__ = [
     "BreakerOpen",
     "BreakerState",
+    "breaker_report",
     "Bulkhead",
     "BulkheadFull",
     "CircuitBreaker",

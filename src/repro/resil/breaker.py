@@ -21,12 +21,36 @@ from __future__ import annotations
 import enum
 import threading
 import time
+import weakref
 from collections import deque
 from typing import Callable, Optional, TypeVar
 
 from ..obs import Observability, resolve as resolve_obs
 
 T = TypeVar("T")
+
+#: Weak registry of live breakers, for the operator's instrument panel
+#: (``/hedc/metrics?format=json`` and ``telemetry_report()``); filtered
+#: by obs hub so side-by-side deployments report only their own.
+_breakers: "weakref.WeakSet[CircuitBreaker]" = weakref.WeakSet()
+
+
+def breaker_report(obs: Optional[Observability] = None) -> dict[str, dict]:
+    """Per-breaker state snapshots (window reduced to counts), keyed by
+    breaker name.  With ``obs`` given, only that hub's breakers report."""
+    report: dict[str, dict] = {}
+    for breaker in list(_breakers):
+        if obs is not None and breaker.obs is not obs:
+            continue
+        snapshot = breaker.snapshot()
+        window = snapshot.pop("window")
+        snapshot["window"] = {
+            "calls": len(window),
+            "failures": sum(1 for ok in window if not ok),
+            "capacity": breaker.window,
+        }
+        report[breaker.name] = snapshot
+    return report
 
 
 class BreakerState(enum.Enum):
@@ -85,12 +109,22 @@ class CircuitBreaker:
         self._trip_counter = self.obs.counter("resil.breaker.trips", breaker=name)
         self._reject_counter = self.obs.counter("resil.breaker.rejections",
                                                 breaker=name)
+        _breakers.add(self)
 
     # -- state machine (all transitions hold the lock) --------------------------
 
     def _set_state(self, state: BreakerState) -> None:
+        previous = self._state
         self._state = state
         self._state_gauge.set(_STATE_GAUGE[state])
+        if previous is not state:
+            self.obs.event(
+                "warn" if state is BreakerState.OPEN else "info",
+                "resil", "breaker.transition",
+                f"breaker {self.name!r}: {previous.value} -> {state.value}",
+                breaker=self.name, from_state=previous.value,
+                to_state=state.value,
+            )
 
     def _trip(self) -> None:
         self._set_state(BreakerState.OPEN)

@@ -142,6 +142,29 @@ class FaultInjector:
                 for name, p in self._points.items()
             }
 
+    def report(self) -> dict[str, dict]:
+        """Full armed-point detail for the operator's instrument panel:
+        configuration plus firing counts, per injection point."""
+        with self._lock:
+            points = list(self._points.values())
+        report: dict[str, dict] = {}
+        for point in points:
+            error = point.error
+            report[point.name] = {
+                "rate": point.rate,
+                "delay_s": point.delay_s,
+                "corrupt": point.corrupt,
+                "times": point.times,
+                "evaluated": point.evaluated,
+                "fired": point.fired,
+                "error": (
+                    None if error is None
+                    else error.__name__ if isinstance(error, type)
+                    else type(error).__name__
+                ),
+            }
+        return report
+
     # -- firing --------------------------------------------------------------
 
     def _decide(self, name: str) -> _Decision:
@@ -156,6 +179,10 @@ class FaultInjector:
                 return _Decision(False)
             point.fired += 1
         self.obs.count("resil.faults.injected", point=name)
+        self.obs.event("warn", "resil", "fault.fired",
+                       f"injection point {name!r} fired",
+                       point=name, delay_s=point.delay_s,
+                       corrupt=point.corrupt)
         return _Decision(True, point.delay_s, point.build_error(), point.corrupt)
 
     def fire(self, name: str) -> None:

@@ -76,7 +76,7 @@ class StreamCorder:
         self._peers: list["StreamCorder"] = []
         #: Concurrent fetches of the same item download once (§6.2 jobs
         #: frequently share input units).
-        self._fetch_flight = SingleFlight()
+        self._fetch_flight = SingleFlight(obs=self.obs)
         self.downloads = 0
         self.bytes_downloaded = 0
         for worker_index in range(n_job_workers):

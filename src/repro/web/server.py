@@ -65,6 +65,7 @@ class WebServer:
         self.router.add("/hedc/search", self.servlets.search)
         self.router.add("/hedc/analyze", self.servlets.analyze)
         self.router.add("/hedc/metrics", self.servlets.metrics)
+        self.router.add("/hedc/debug", self.servlets.debug)
         self._requests = self.obs.counter("web.requests", server=self.name)
         self._bytes = self.obs.counter("web.bytes_sent", server=self.name)
         # Per-route metric handles, resolved lazily once per (route, status).
@@ -114,12 +115,24 @@ class WebServer:
             except Exception as exc:
                 response = HttpResponse.error(500, f"{type(exc).__name__}: {exc}")
             span.set_tag("status", response.status)
+        elapsed = time.perf_counter() - started
         histogram = self._route_hists.get(route)
         if histogram is None:
             histogram = self._route_hists[route] = self.obs.histogram(
                 "web.request_s", server=self.name, route=route
             )
-        histogram.observe(time.perf_counter() - started)
+        if span:
+            histogram.observe(elapsed, exemplar=(span.trace_id, span.span_id))
+        else:
+            histogram.observe(elapsed)
+        threshold = self.obs.slowlog.threshold_for("web.handle")
+        if threshold is not None and elapsed >= threshold:
+            self.obs.slowlog.record(
+                "web.handle", elapsed, threshold,
+                trace_id=span.trace_id if span else None,
+                span_id=span.span_id if span else None,
+                route=route, path=request.path, status=response.status,
+            )
         self._requests.inc()
         self._bytes.inc(response.size)
         counter_key = (route, response.status)

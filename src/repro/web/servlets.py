@@ -18,7 +18,14 @@ import numpy as np
 from ..analysis import render_pgm
 from ..cache import cache_report
 from ..metadb import Aggregate, And, Between, Comparison, Select
-from ..obs import resolve as resolve_obs, to_json_snapshot, to_line_protocol
+from ..obs import (
+    Histogram,
+    resolve as resolve_obs,
+    to_json_snapshot,
+    to_line_protocol,
+    usage_report,
+)
+from ..resil import breaker_report, get_default_injector
 from ..security import AuthError, User, scoped_where
 from .http import HttpRequest, HttpResponse
 from .pages import build_registry
@@ -335,9 +342,92 @@ class Servlets:
         if request.params.get("format") == "json":
             body = to_json_snapshot(self.obs.registry, tracer=self.obs.tracer)
             body["caches"] = cache_report(self.obs)
+            body["resilience"] = {
+                "breakers": breaker_report(self.obs),
+                "faults": get_default_injector().report(),
+            }
             return HttpResponse(
                 body=json.dumps(body, indent=2).encode("utf-8"),
                 content_type="application/json",
             )
         text = to_line_protocol(self.obs.registry)
         return HttpResponse(body=text.encode("utf-8"), content_type="text/plain")
+
+    # -- deep diagnostics (events, slow ops, usage analytics, profiler) ---------------------------
+
+    def debug(self, request: HttpRequest) -> HttpResponse:
+        """The deep-diagnostics panel: structured events, slow ops with
+        their attached detail, histogram exemplars, live usage analytics
+        diffed against the evalmodel calibration, profiler state and
+        resilience machinery — JSON with ``?format=json``, text else."""
+        obs = self.obs
+        exemplars = []
+        for metric in obs.registry.metrics():
+            if isinstance(metric, Histogram):
+                slots = metric.exemplars()
+                if slots:
+                    exemplars.append({
+                        "name": metric.name,
+                        "labels": dict(metric.labels),
+                        "exemplars": slots,
+                    })
+        body: dict[str, Any] = {
+            "usage": usage_report(obs, dm=self.dm),
+            "events": obs.events.snapshot(limit=100),
+            "slow_ops": obs.slowlog.snapshot(limit=50),
+            "slow_thresholds": obs.slowlog.thresholds(),
+            "exemplars": exemplars,
+            "profiler": {
+                "running": obs.profiler.running,
+                "samples": obs.profiler.samples,
+                "hot_stacks": obs.profiler.snapshot(limit=10),
+            },
+            "resilience": {
+                "breakers": breaker_report(obs),
+                "faults": get_default_injector().report(),
+            },
+        }
+        if request.params.get("format") == "json":
+            return HttpResponse(
+                body=json.dumps(body, indent=2, default=repr).encode("utf-8"),
+                content_type="application/json",
+            )
+        lines = ["HEDC deep diagnostics", "====================", ""]
+        lines.append("request mix:")
+        for route, row in body["usage"]["request_mix"].items():
+            lines.append(
+                f"  {route:<20} {row['requests']:>6}  share={row['share']:.2f}"
+                f"  p50={row['p50_s'] * 1000:.1f}ms p95={row['p95_s'] * 1000:.1f}ms"
+            )
+        drift = body["usage"]["calibration_drift"]
+        if drift:
+            lines.append("calibration drift:")
+            for entry in drift:
+                flag = " DRIFTED" if entry["drifted"] else ""
+                lines.append(
+                    f"  {entry['metric']:<24} predicted={entry['predicted']:.4g}"
+                    f" measured={entry['measured']:.4g}{flag}"
+                )
+        lines.append(f"events ({len(body['events'])} shown):")
+        for event in body["events"][-20:]:
+            lines.append(
+                f"  #{event['seq']} [{event['severity']}]"
+                f" {event['component']}.{event['kind']}: {event['message']}"
+            )
+        lines.append(f"slow ops ({len(body['slow_ops'])} shown):")
+        for op in body["slow_ops"][-20:]:
+            lines.append(
+                f"  {op['name']} {op['duration_s'] * 1000:.1f}ms"
+                f" (threshold {op['threshold_s'] * 1000:.1f}ms)"
+            )
+        lines.append(
+            f"profiler: {'running' if body['profiler']['running'] else 'stopped'},"
+            f" {body['profiler']['samples']} samples"
+        )
+        lines.append("breakers:")
+        for name, snap in body["resilience"]["breakers"].items():
+            lines.append(f"  {name}: {snap['state']} trips={snap['trips']}")
+        return HttpResponse(
+            body=("\n".join(lines) + "\n").encode("utf-8"),
+            content_type="text/plain",
+        )

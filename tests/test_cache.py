@@ -292,6 +292,51 @@ class TestSingleFlight:
         assert (second, leading2) == (2, True)
         assert not flight.in_flight("k")
 
+    def test_spans_propagate_through_coalesced_requests(self):
+        """Followers' trace trees must reference the one executing span,
+        so an operator inspecting a coalesced request's trace can jump to
+        the span that actually did the work."""
+        obs = Observability(enabled=True)
+        flight = SingleFlight(obs=obs)
+        gate = threading.Event()
+
+        def work():
+            gate.wait(timeout=10)
+            return "product"
+
+        def call(name):
+            with obs.tracer.span(name):
+                flight.do("fp", work)
+
+        leader_thread = threading.Thread(target=call, args=("leader",))
+        leader_thread.start()
+        time.sleep(0.05)            # leader is in flight before followers join
+        follower_threads = [
+            threading.Thread(target=call, args=(f"follower{index}",))
+            for index in range(3)
+        ]
+        for thread in follower_threads:
+            thread.start()
+        time.sleep(0.05)
+        gate.set()
+        for thread in [leader_thread, *follower_threads]:
+            thread.join(timeout=10)
+
+        roots = obs.tracer.finished_spans()
+        leader_root = next(span for span in roots if span.name == "leader")
+        followers = [span for span in roots if span.name.startswith("follower")]
+        assert len(followers) == 3
+        for span in followers:
+            assert span.tags["coalesced_with_span"] == leader_root.span_id
+            assert span.tags["coalesced_with_trace"] == leader_root.trace_id
+        assert "coalesced_with_span" not in leader_root.tags
+
+    def test_no_span_tags_without_obs_or_tracing(self):
+        flight = SingleFlight()          # no hub attached
+        assert flight.do("k", lambda: 1) == (1, True)
+        disabled = SingleFlight(obs=Observability())
+        assert disabled.do("k", lambda: 2) == (2, True)
+
 
 def _user(user_id: int):
     return SimpleNamespace(user_id=user_id)
