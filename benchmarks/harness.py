@@ -401,6 +401,102 @@ def run_backprojection() -> None:
     print(f"  wrote {path.name}\n")
 
 
+def run_shard() -> None:
+    import time
+
+    from repro.evalmodel import project_scaling
+    from repro.metadb import Between, Database, Insert, Select
+    from repro.schema import install_all
+    from repro.shard import ShardedDatabase
+
+    day = 86_400.0
+    span_days = 16
+    n_rows = 4000
+    rows = []
+    for index in range(n_rows):
+        t = (index * 7919) % int(span_days * day)
+        rows.append({
+            "hle_id": index + 1, "item_id": f"hle:{index + 1}", "owner_id": 1,
+            "start_time": float(t), "end_time": float(t) + 60.0,
+            "peak_rate": float((index * 37) % 1000),
+            "created_at": 0.0,
+        })
+    admin = {"user_id": 1, "login": "bench", "password_hash": "x"}
+    pruned_q = Select("hle", where=Between("start_time", 3 * day, 3.5 * day),
+                      order_by=[("start_time", "asc")])
+    scatter_q = Select("hle", order_by=[("peak_rate", "desc")], limit=10)
+
+    def best(db, statement, calls=50, repeats=5):
+        db.execute(statement)
+        timing = float("inf")
+        for _repeat in range(repeats):
+            started = time.perf_counter()
+            for _call in range(calls):
+                db.execute(statement)
+            timing = min(timing, time.perf_counter() - started)
+        return timing / calls
+
+    def load(db):
+        install_all(db)
+        db.execute(Insert("admin_users", dict(admin)))
+        for row in rows:
+            db.execute(Insert("hle", dict(row)))
+
+    single = Database(name="bench-single")
+    load(single)
+    baseline = {"pruned_range_us": best(single, pruned_q) * 1e6,
+                "topn_scan_us": best(single, scatter_q) * 1e6}
+
+    configs = {}
+    for n_shards in (1, 4, 16):
+        cuts = [span_days * day * index / n_shards
+                for index in range(1, n_shards)]
+        sharded = ShardedDatabase(boundaries=cuts, name=f"bench{n_shards}")
+        load(sharded)
+        pruned_route = sharded.explain_plan(pruned_q)["shard_route"]
+        scatter_route = sharded.explain_plan(scatter_q)["shard_route"]
+        configs[str(n_shards)] = {
+            "pruned_range": {
+                "us_per_query": best(sharded, pruned_q) * 1e6,
+                "shards_touched": len(pruned_route["shards"]),
+                "route": pruned_route["kind"],
+            },
+            "topn_scan": {
+                "us_per_query": best(sharded, scatter_q) * 1e6,
+                "shards_touched": len(scatter_route["shards"]),
+                "route": scatter_route["kind"],
+            },
+        }
+
+    projected_users = {
+        str(n): project_scaling(n).users_supported
+        for n in (1, 4, 16, 64, 256)
+    }
+    payload = {
+        "table_rows": n_rows,
+        "span_days": span_days,
+        "single_node": baseline,
+        "sharded": configs,
+        "projected_users": projected_users,
+    }
+    path = _write_bench("BENCH_sharding.json", payload)
+    print(f"Sharded catalog ({n_rows:,} events over {span_days} days)")
+    print(f"  single node : pruned-range {baseline['pruned_range_us']:8.1f} us,"
+          f" top-N scan {baseline['topn_scan_us']:8.1f} us")
+    for n_shards, entry in configs.items():
+        pruned = entry["pruned_range"]
+        scatter = entry["topn_scan"]
+        print(f"  {n_shards:>2} shard(s) : "
+              f"pruned-range {pruned['us_per_query']:8.1f} us "
+              f"({pruned['shards_touched']}/{n_shards} shards, "
+              f"{pruned['route']}), "
+              f"top-N scan {scatter['us_per_query']:8.1f} us "
+              f"({scatter['shards_touched']}/{n_shards})")
+    print("  projected   : " + ", ".join(
+        f"{shards}sh={users:,}u" for shards, users in projected_users.items()))
+    print(f"  wrote {path.name}\n")
+
+
 EXPERIMENTS = {
     "fig4": run_fig4,
     "fig5": run_fig5,
@@ -415,6 +511,7 @@ EXPERIMENTS = {
     "cache": run_cache,
     "query": run_query,
     "backprojection": run_backprojection,
+    "shard": run_shard,
 }
 
 

@@ -64,15 +64,29 @@ class Hedc:
         persistent: bool = False,
         with_tape: bool = False,
         obs: Optional[Observability] = None,
+        shard_boundaries: Optional[Sequence[float]] = None,
     ):
         self.data_dir = Path(data_dir)
         # A private hub per deployment: every tier below shares it, so
         # one browse yields one span tree and one instrument panel.
         self.obs = obs if obs is not None else Observability(name="hedc")
-        database = Database(
-            self.data_dir / "db" if persistent else None, name="hedc",
-            obs=self.obs,
-        )
+        if shard_boundaries is not None:
+            # Partition the catalog by observation time: the DM stack
+            # above is unchanged, statements route through the shard
+            # router transparently.
+            from ..shard import ShardedDatabase
+
+            database: Any = ShardedDatabase(
+                boundaries=shard_boundaries,
+                path=self.data_dir / "db" if persistent else None,
+                name="hedc",
+                obs=self.obs,
+            )
+        else:
+            database = Database(
+                self.data_dir / "db" if persistent else None, name="hedc",
+                obs=self.obs,
+            )
         storage = StorageManager(scratch_dir=self.data_dir / "scratch")
         main = DiskArchive("main", self.data_dir / "archive")
         storage.register(main)

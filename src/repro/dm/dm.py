@@ -127,6 +127,9 @@ class DataManager:
             for pool in (self.io.pools.queries, self.io.pools.updates,
                          self.io.pools.auth)
         }
+        # Duck-typed: present exactly when the default database is a
+        # ShardedDatabase (repro.shard), so the DM has no shard import.
+        shard_reporter = getattr(self.io.default_database, "shard_report", None)
         return {
             "node": self.node_name,
             "tracing_enabled": self.obs.enabled,
@@ -136,6 +139,7 @@ class DataManager:
                                       db=self.io.default_database.name, op="select"),
                 "wal_fsyncs": registry.value("metadb.wal.fsyncs"),
             },
+            "shard": shard_reporter() if shard_reporter is not None else None,
             "pools": pool_waits,
             "sessions": {
                 "size": self.sessions.size,

@@ -22,6 +22,16 @@ from .processing import (
     table1_histogram,
     table1_imaging,
 )
+from .sharding import (
+    ScalingProjection,
+    ShardedBrowsingResult,
+    figure5_sharded_series,
+    print_scaling_projection,
+    print_sharded_figure5,
+    project_scaling,
+    scaling_series,
+    simulate_sharded_browsing,
+)
 
 __all__ = [
     "BrowsingResult",
@@ -31,14 +41,22 @@ __all__ = [
     "IMAGING",
     "IMAGING_CONFIGS",
     "ProcessingResult",
+    "ScalingProjection",
+    "ShardedBrowsingResult",
     "Workload",
     "figure4_series",
     "figure5_series",
+    "figure5_sharded_series",
     "print_figure4",
     "print_figure5",
+    "print_scaling_projection",
+    "print_sharded_figure5",
     "print_table1",
+    "project_scaling",
+    "scaling_series",
     "simulate_browsing",
     "simulate_processing",
+    "simulate_sharded_browsing",
     "table1_histogram",
     "table1_imaging",
 ]

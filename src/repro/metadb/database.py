@@ -68,7 +68,7 @@ class Database:
     """
 
     def __init__(self, path: Optional[Union[str, Path]] = None, name: str = "metadb",
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None, fault_scope: Optional[str] = None):
         self.name = name
         self._lock = threading.RLock()
         self._tables: dict[str, Table] = {}
@@ -82,7 +82,7 @@ class Database:
         self._plan_counters: dict[str, Any] = {}
         self._journal: Optional[Journal] = None
         if path is not None:
-            self._journal = Journal(Path(path), obs=self.obs)
+            self._journal = Journal(Path(path), obs=self.obs, fault_scope=fault_scope)
             self._recover()
 
     # -- lifecycle ------------------------------------------------------------

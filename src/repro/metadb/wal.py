@@ -42,16 +42,22 @@ def _decode_row(row: dict[str, Any]) -> dict[str, Any]:
 class Journal:
     """Append-only journal of committed transactions."""
 
-    def __init__(self, directory: Path, obs: Optional[Observability] = None):
+    def __init__(self, directory: Path, obs: Optional[Observability] = None,
+                 fault_scope: Optional[str] = None):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.journal_path = self.directory / "journal.jsonl"
         self.snapshot_path = self.directory / "snapshot.json"
         self._handle = None
         self.obs = resolve_obs(obs)
+        # Scoped fault point (e.g. "metadb.shard.3") so chaos tests can
+        # fail one shard's fsyncs without touching every journal.
+        self._fsync_fault = f"{fault_scope}.wal.fsync" if fault_scope else None
 
     def _fsync(self, handle) -> None:
         fire_fault("metadb.wal.fsync")
+        if self._fsync_fault is not None:
+            fire_fault(self._fsync_fault)
         os.fsync(handle.fileno())
         self.obs.count("metadb.wal.fsyncs")
 

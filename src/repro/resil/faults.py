@@ -17,6 +17,11 @@ Injection points wired through the tiers:
 ``metadb.pool.acquire``    :meth:`ConnectionPool.acquire` stalls (``delay_s``)
 ``metadb.wal.fsync``       :meth:`Journal._fsync` raises (failed fsync)
 ``metadb.replica.<name>``  a :class:`ReplicatedDatabase` copy is partitioned
+``metadb.shard.<id>.statement``  every router-dispatched statement to one
+                           shard of a :class:`ShardedDatabase` raises —
+                           kills that time range's shard mid-scatter
+``metadb.shard.<id>.wal.fsync``  one shard's journal fsync fails (fires
+                           alongside the global ``metadb.wal.fsync``)
 ``filestore.store``        :meth:`Archive.store` raises (write I/O error)
 ``filestore.read``         :meth:`Archive.retrieve` raises (read I/O error)
 ``filestore.corrupt``      :meth:`Archive.retrieve` flips a payload byte

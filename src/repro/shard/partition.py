@@ -1,0 +1,226 @@
+"""Shard topology: time-range partitions over the metadata catalog.
+
+The catalog is partitioned by observation time, the axis along which a
+scientific archive actually grows (one RHESSI observation day after
+another) and the axis most page queries constrain.  A :class:`ShardMap`
+is an immutable, totally ordered list of half-open ranges
+``[low, high)`` covering the whole real line — the first shard's lower
+bound and the last shard's upper bound are open, so any start_time
+always lands on exactly one shard and "open-ended" predicates still
+prune.
+
+Tables fall into three placement classes (:class:`ShardConfig`):
+
+* **partitioned** — rows are placed by a time column (``hle`` and
+  ``raw_units`` by ``start_time``);
+* **co-partitioned** — rows follow a foreign-key parent so per-shard
+  foreign-key checks keep working (``ana`` and ``catalog_members``
+  follow their ``hle``; ``views`` follow their ``raw_units``);
+* **broadcast** — everything else (users, catalogs, location/ops
+  tables) is replicated on every shard, eagerly written and read
+  round-robin, so cross-table references hold on any shard.
+
+Maps are immutable: a split builds a new map and the router swaps one
+reference, which is what lets readers run unstalled through a split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+
+class ShardError(Exception):
+    """A statement cannot be routed under the current shard topology."""
+
+
+class ShardUnavailable(ShardError):
+    """Every shard a statement targets is down or circuit-broken."""
+
+    def __init__(self, message: str, shard_ids: Sequence[int] = ()):
+        super().__init__(message)
+        self.shard_ids = tuple(shard_ids)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's identity and the half-open time range ``[low, high)``.
+
+    ``low is None`` / ``high is None`` mark the open outer edges of the
+    first and last shard.
+    """
+
+    shard_id: int
+    low: Optional[float] = None
+    high: Optional[float] = None
+
+    def covers(self, value: Any) -> bool:
+        """True when ``value`` belongs to this shard's range."""
+        try:
+            if self.low is not None and value < self.low:
+                return False
+            if self.high is not None and value >= self.high:
+                return False
+        except TypeError:
+            return False
+        return True
+
+    def overlaps(self, low: Any, high: Any, low_inclusive: bool,
+                 high_inclusive: bool) -> bool:
+        """True when the query range can contain a value in ``[low, high)``."""
+        try:
+            if high is not None and self.low is not None:
+                if high < self.low or (high == self.low and not high_inclusive):
+                    return False
+            if low is not None and self.high is not None:
+                # self.high is exclusive: low == self.high can never match.
+                if low >= self.high:
+                    return False
+        except TypeError:
+            return False
+        return True
+
+    def describe(self) -> str:
+        low = "-inf" if self.low is None else f"{self.low:g}"
+        high = "+inf" if self.high is None else f"{self.high:g}"
+        return f"shard {self.shard_id} [{low}, {high})"
+
+
+class ShardMap:
+    """An immutable, contiguous, totally ordered set of shard ranges."""
+
+    def __init__(self, specs: Sequence[ShardSpec]):
+        if not specs:
+            raise ShardError("a shard map needs at least one shard")
+        ordered = sorted(specs, key=lambda spec: (spec.low is not None, spec.low))
+        if ordered[0].low is not None or ordered[-1].high is not None:
+            raise ShardError("the first/last shard must have open outer bounds")
+        for left, right in zip(ordered, ordered[1:]):
+            if left.high != right.low:
+                raise ShardError(
+                    f"shard ranges must be contiguous: {left.describe()} then "
+                    f"{right.describe()}"
+                )
+        self.specs: tuple[ShardSpec, ...] = tuple(ordered)
+        self._by_id = {spec.shard_id: spec for spec in self.specs}
+        if len(self._by_id) != len(self.specs):
+            raise ShardError("duplicate shard ids in map")
+
+    @classmethod
+    def from_boundaries(cls, boundaries: Sequence[float]) -> "ShardMap":
+        """N sorted boundary values give N+1 contiguous shards."""
+        cuts = sorted(set(boundaries))
+        edges = [None, *cuts, None]
+        return cls([
+            ShardSpec(shard_id, low, high)
+            for shard_id, (low, high) in enumerate(zip(edges, edges[1:]))
+        ])
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def spec(self, shard_id: int) -> ShardSpec:
+        try:
+            return self._by_id[shard_id]
+        except KeyError:
+            raise ShardError(f"unknown shard id {shard_id}") from None
+
+    def spec_for_value(self, value: Any) -> ShardSpec:
+        """The unique shard owning ``value`` (ranges cover the whole line)."""
+        for spec in self.specs:
+            if spec.covers(value):
+                return spec
+        raise ShardError(f"no shard covers partition value {value!r}")
+
+    def specs_for_range(self, low: Any, high: Any, low_inclusive: bool = True,
+                        high_inclusive: bool = True) -> tuple[ShardSpec, ...]:
+        """Every shard whose range a ``[low, high]``-style predicate touches."""
+        return tuple(
+            spec for spec in self.specs
+            if spec.overlaps(low, high, low_inclusive, high_inclusive)
+        )
+
+    def specs_for_values(self, values) -> tuple[ShardSpec, ...]:
+        """Shards owning any value of an IN list, in map order."""
+        hit = {self.spec_for_value(value).shard_id for value in values}
+        return tuple(spec for spec in self.specs if spec.shard_id in hit)
+
+    def replace(self, shard_id: int, replacements: Sequence[ShardSpec]) -> "ShardMap":
+        """A new map with ``shard_id`` swapped for ``replacements`` (a split)."""
+        specs: list[ShardSpec] = []
+        for spec in self.specs:
+            if spec.shard_id == shard_id:
+                specs.extend(replacements)
+            else:
+                specs.append(spec)
+        return ShardMap(specs)
+
+    def next_shard_id(self) -> int:
+        return max(self._by_id) + 1
+
+    def describe(self) -> list[str]:
+        return [spec.describe() for spec in self.specs]
+
+
+@dataclass(frozen=True)
+class CoPartition:
+    """A child table routed to its FK parent's shard."""
+
+    fk_column: str
+    parent_table: str
+    parent_column: str
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Placement classes for every table; unnamed tables are broadcast."""
+
+    partitioned: dict[str, str] = field(default_factory=dict)
+    co_partitioned: dict[str, CoPartition] = field(default_factory=dict)
+
+    def kind(self, table: str) -> str:
+        if table in self.partitioned:
+            return "partitioned"
+        if table in self.co_partitioned:
+            return "co_partitioned"
+        return "broadcast"
+
+    def partition_column(self, table: str) -> str:
+        return self.partitioned[table]
+
+    def joinable(self, left: str, right: str) -> bool:
+        """True when a join's right side is co-located with every left row.
+
+        Broadcast tables join with anything; a co-partitioned child joins
+        its parent (either direction) and its co-partitioned siblings.
+        """
+        if self.kind(right) == "broadcast" or self.kind(left) == "broadcast":
+            # A broadcast *left* still scatters; each shard holds the full
+            # broadcast table, so the join is correct on whichever shard
+            # the partitioned side's rows live.
+            return True
+        left_co = self.co_partitioned.get(left)
+        right_co = self.co_partitioned.get(right)
+        if left_co is not None and left_co.parent_table == right:
+            return True
+        if right_co is not None and right_co.parent_table == left:
+            return True
+        if left_co is not None and right_co is not None:
+            return left_co.parent_table == right_co.parent_table
+        return False
+
+
+#: Placement of the HEDC schema: events and raw units partition by
+#: observation time; their dependents follow; admin/location/ops tables
+#: broadcast so auth and FK checks work on every shard.
+HEDC_SHARD_CONFIG = ShardConfig(
+    partitioned={"hle": "start_time", "raw_units": "start_time"},
+    co_partitioned={
+        "ana": CoPartition("hle_id", "hle", "hle_id"),
+        "catalog_members": CoPartition("hle_id", "hle", "hle_id"),
+        "views": CoPartition("unit_id", "raw_units", "unit_id"),
+    },
+)

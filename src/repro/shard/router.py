@@ -1,0 +1,63 @@
+"""Routing: resolve a statement's WHERE clause to a shard subset.
+
+Pruning reuses the planner's predicate analysis (PR 4): the same
+``equality_on`` / ``in_list_on`` / ``range_on`` helpers that pick index
+access paths also decide which time ranges a query can possibly touch.
+Equality pins one shard; an IN list resolves each value to its owner;
+a range (including open-ended ``>=`` / ``<`` bounds) selects every
+overlapping shard.  Disjunctions and predicates that never mention the
+partition column scatter to all shards — correct, just not pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..metadb.predicate import Predicate, equality_on, in_list_on, range_on
+from .partition import ShardMap, ShardSpec
+
+#: Route kinds, also the ``route`` label on the obs counter.
+PRUNED = "pruned"        # a strict subset of shards
+SCATTER = "scatter"      # every shard
+BROADCAST = "broadcast"  # any one shard (table replicated everywhere)
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Which shards a statement touches and why."""
+
+    kind: str
+    specs: tuple[ShardSpec, ...]
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(spec.shard_id for spec in self.specs)
+
+
+def route_partitioned(where: Optional[Predicate], column: str,
+                      shard_map: ShardMap) -> RouteDecision:
+    """Shard subset for a statement over a partitioned table."""
+    value = equality_on(where, column)
+    if value is not None:
+        specs = (shard_map.spec_for_value(value),)
+        return _decide(specs, shard_map)
+    in_values = in_list_on(where, column)
+    if in_values is not None:
+        return _decide(shard_map.specs_for_values(in_values), shard_map)
+    bounds = range_on(where, column)
+    if bounds is not None:
+        low, high, low_inclusive, high_inclusive = bounds
+        specs = shard_map.specs_for_range(low, high, low_inclusive, high_inclusive)
+        return _decide(specs, shard_map)
+    return RouteDecision(SCATTER, shard_map.specs)
+
+
+def scatter_all(shard_map: ShardMap) -> RouteDecision:
+    return RouteDecision(SCATTER, shard_map.specs)
+
+
+def _decide(specs: tuple[ShardSpec, ...], shard_map: ShardMap) -> RouteDecision:
+    if len(specs) >= len(shard_map):
+        return RouteDecision(SCATTER, shard_map.specs)
+    return RouteDecision(PRUNED, specs)

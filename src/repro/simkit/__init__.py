@@ -7,7 +7,7 @@ Used by :mod:`repro.evalmodel` to reproduce the paper's testbed experiments
 from .events import EventHandle, SimulationError, Simulator
 from .process import AllOf, Future, Interrupted, Process, spawn
 from .random_streams import RandomStream, StreamFactory
-from .resources import FcfsServer, ProcessorSharing
+from .resources import FcfsServer, ProcessorSharing, scatter_gather
 from .stats import Tally, TimeWeighted
 
 __all__ = [
@@ -24,5 +24,6 @@ __all__ = [
     "StreamFactory",
     "Tally",
     "TimeWeighted",
+    "scatter_gather",
     "spawn",
 ]

@@ -12,10 +12,10 @@ Two disciplines cover the performance models in the paper's evaluation:
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import Optional, Sequence
 
 from .events import EventHandle, Simulator
-from .process import Future
+from .process import AllOf, Future
 from .stats import TimeWeighted
 
 
@@ -166,3 +166,16 @@ class FcfsServer:
     @property
     def queued(self) -> int:
         return len(self._queue)
+
+
+def scatter_gather(servers: Sequence["FcfsServer"], service_time: float) -> AllOf:
+    """Fan one logical request out to every station and wait for all.
+
+    Models a scatter-gather read against a partitioned resource: the
+    caller resumes when the *slowest* branch finishes, so the returned
+    :class:`~repro.simkit.process.AllOf` captures the straggler effect
+    that distinguishes fan-out from a single queue visit.
+    """
+    if not servers:
+        raise ValueError("scatter_gather needs at least one server")
+    return AllOf([server.request(service_time) for server in servers])

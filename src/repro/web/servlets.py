@@ -346,6 +346,7 @@ class Servlets:
                 "breakers": breaker_report(self.obs),
                 "faults": get_default_injector().report(),
             }
+            body["shard"] = self._shard_report()
             return HttpResponse(
                 body=json.dumps(body, indent=2).encode("utf-8"),
                 content_type="application/json",
@@ -386,6 +387,7 @@ class Servlets:
                 "breakers": breaker_report(obs),
                 "faults": get_default_injector().report(),
             },
+            "shard": self._shard_report(),
         }
         if request.params.get("format") == "json":
             return HttpResponse(
@@ -427,7 +429,25 @@ class Servlets:
         lines.append("breakers:")
         for name, snap in body["resilience"]["breakers"].items():
             lines.append(f"  {name}: {snap['state']} trips={snap['trips']}")
+        shard = body["shard"]
+        if shard is not None:
+            lines.append(f"shards ({shard['n_shards']}, splits={shard['splits']},"
+                         f" degraded reads={shard['degraded_reads']}):")
+            for entry in shard["shards"]:
+                low = "-inf" if entry["low"] is None else f"{entry['low']:g}"
+                high = "+inf" if entry["high"] is None else f"{entry['high']:g}"
+                lines.append(
+                    f"  shard {entry['shard_id']} [{low}, {high}):"
+                    f" rows={entry['total_rows']} breaker={entry['breaker']}"
+                    f" reads={entry['reads']} writes={entry['writes']}"
+                )
         return HttpResponse(
             body=("\n".join(lines) + "\n").encode("utf-8"),
             content_type="text/plain",
         )
+
+    def _shard_report(self) -> Optional[dict[str, Any]]:
+        """Shard topology/health when the DM sits on a ShardedDatabase
+        (duck-typed — no repro.shard import at the web tier)."""
+        reporter = getattr(self.dm.io.default_database, "shard_report", None)
+        return reporter() if reporter is not None else None

@@ -455,3 +455,57 @@ class TestSeededChaos:
         fresh = hedc.analyze(user, event["hle_id"], "histogram",
                              {"n_bins": 16, "force": True})
         assert fresh.phase is Phase.COMMITTED, fresh.error
+
+    def test_shard_killed_mid_scatter_degrades_one_time_range(self):
+        """One catalog shard dies mid-scatter: queries over the other
+        time ranges still succeed in full, the affected range comes back
+        as a typed :class:`PartialResult` naming the missing range, and
+        the shard's breaker trips so later scatters skip it cheaply."""
+        from repro.metadb import Between, Comparison, Insert
+        from repro.resil import BreakerState
+        from repro.schema import install_all
+        from repro.shard import PartialResult, ShardedDatabase
+
+        sharded = ShardedDatabase(boundaries=(100.0, 200.0), name="chaos",
+                                  breaker_cooldown_s=60.0)
+        install_all(sharded)
+        sharded.execute(Insert("admin_users", {
+            "user_id": 1, "login": "chaos", "password_hash": "x",
+        }))
+        for index, start in enumerate(
+                [10.0, 50.0, 110.0, 150.0, 210.0, 250.0], start=1):
+            sharded.execute(Insert("hle", {
+                "hle_id": index, "item_id": f"hle:{index}", "owner_id": 1,
+                "start_time": start, "end_time": start + 1.0,
+            }))
+
+        injector = FaultInjector(seed=CHAOS_SEED)
+        injector.inject("metadb.shard.1.statement", rate=1.0)
+        with use_injector(injector):
+            for _round in range(4):
+                rows = sharded.execute(Select("hle"))
+                assert isinstance(rows, PartialResult)
+                assert [m["shard_id"] for m in rows.missing_shards] == [1]
+                assert rows.missing_shards[0] == {
+                    "shard_id": 1, "low": 100.0, "high": 200.0,
+                }
+                # Both healthy time ranges answered in full.
+                assert {row["hle_id"] for row in rows} == {1, 2, 5, 6}
+            # Healthy ranges are entirely unaffected (pruned routes never
+            # touch the dead shard).
+            early = sharded.execute(
+                Select("hle", where=Comparison("start_time", "<", 100.0)))
+            assert not isinstance(early, PartialResult)
+            assert len(early) == 2
+            late = sharded.execute(
+                Select("hle", where=Comparison("start_time", ">=", 200.0)))
+            assert not isinstance(late, PartialResult)
+            # The dead range itself degrades to a typed empty result.
+            dead = sharded.execute(
+                Select("hle", where=Between("start_time", 100.0, 199.0)))
+            assert isinstance(dead, PartialResult) and len(dead) == 0
+        # The repeated failures tripped the shard's own breaker; the
+        # injected chaos demonstrably happened.
+        assert sharded.breakers[1].state is BreakerState.OPEN
+        assert injector.stats()["metadb.shard.1.statement"]["fired"] > 0
+        assert sharded.degraded_count >= 5

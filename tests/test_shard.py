@@ -1,0 +1,706 @@
+"""The sharded catalog: topology, routing, differential correctness,
+degradation, online split, DM integration, and the scaling projection.
+
+The load-bearing property is *transparency*: a ShardedDatabase must be
+indistinguishable from a single Database through ``execute()`` — same
+rows, same order, same aggregates — while EXPLAIN and the route counters
+prove pruned queries really skipped the non-matching shards.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.metadb import (
+    Aggregate,
+    Between,
+    Comparison,
+    Database,
+    Delete,
+    In,
+    Insert,
+    Join,
+    Or,
+    Select,
+    Update,
+)
+from repro.resil import FaultInjector, use_injector
+from repro.schema import install_all
+from repro.shard import (
+    HEDC_SHARD_CONFIG,
+    PartialResult,
+    ShardedDatabase,
+    ShardError,
+    ShardMap,
+    ShardSpec,
+    ShardUnavailable,
+    route_partitioned,
+)
+
+DAY = 86_400.0
+BOUNDS = (DAY, 2 * DAY, 3 * DAY)  # four observation-day shards
+
+
+def _fresh_pair() -> tuple[Database, ShardedDatabase]:
+    single = Database(name="single")
+    install_all(single)
+    sharded = ShardedDatabase(boundaries=BOUNDS, name="shardtest")
+    install_all(sharded)
+    return single, sharded
+
+
+def _seed_users(*dbs) -> None:
+    for db in dbs:
+        db.execute(Insert("admin_users", {
+            "user_id": 1, "login": "alice", "password_hash": "x",
+        }))
+
+
+def _event_rows(n: int, seed: int) -> list[dict]:
+    """Deterministic events spread over four days; unique start_times so
+    ORDER BY comparisons are tie-free, integer counts so sums are exact."""
+    rng = random.Random(seed)
+    times = rng.sample(range(0, int(4 * DAY)), n)
+    rows = []
+    for index, t in enumerate(times, start=1):
+        rows.append({
+            "hle_id": index,
+            "item_id": f"hle:{index}",
+            "owner_id": 1,
+            "start_time": float(t),
+            "end_time": float(t) + 60.0,
+            "peak_rate": float(rng.randrange(1, 500)),
+            "total_counts": rng.randrange(100, 10_000),
+            "kind": rng.choice(["flare", "burst", "saa", None]),
+            "created_at": 1000.0,
+        })
+    return rows
+
+
+def _seed_events(dbs, n: int = 120, seed: int = 2003) -> list[dict]:
+    rows = _event_rows(n, seed)
+    for db in dbs:
+        for row in rows:
+            db.execute(Insert("hle", dict(row)))
+    return rows
+
+
+def _multiset(rows) -> list[str]:
+    return sorted(repr(sorted(row.items(), key=lambda kv: kv[0])) for row in rows)
+
+
+def _assert_same(single, sharded, select: Select, ordered: bool) -> None:
+    expected = single.execute(select)
+    actual = sharded.execute(select)
+    assert not isinstance(actual, PartialResult)
+    if ordered:
+        assert list(actual) == list(expected), select
+    else:
+        assert _multiset(actual) == _multiset(expected), select
+
+
+class TestShardMap:
+    def test_boundaries_give_contiguous_open_ended_map(self):
+        shard_map = ShardMap.from_boundaries(BOUNDS)
+        assert len(shard_map) == 4
+        assert shard_map.specs[0].low is None
+        assert shard_map.specs[-1].high is None
+        for left, right in zip(shard_map.specs, shard_map.specs[1:]):
+            assert left.high == right.low
+
+    def test_every_value_lands_on_exactly_one_shard(self):
+        shard_map = ShardMap.from_boundaries(BOUNDS)
+        for value in (-1e12, 0.0, DAY - 1, DAY, 2.5 * DAY, 3 * DAY, 1e12):
+            owners = [spec for spec in shard_map if spec.covers(value)]
+            assert len(owners) == 1
+            assert owners[0] == shard_map.spec_for_value(value)
+
+    def test_boundary_value_belongs_to_the_upper_shard(self):
+        shard_map = ShardMap.from_boundaries(BOUNDS)
+        assert shard_map.spec_for_value(DAY).shard_id == 1
+
+    def test_range_and_value_lookup(self):
+        shard_map = ShardMap.from_boundaries(BOUNDS)
+        touched = shard_map.specs_for_range(DAY + 1, 2 * DAY - 1)
+        assert [spec.shard_id for spec in touched] == [1]
+        touched = shard_map.specs_for_range(None, DAY - 1)
+        assert [spec.shard_id for spec in touched] == [0]
+        touched = shard_map.specs_for_values([0.0, 3.5 * DAY])
+        assert [spec.shard_id for spec in touched] == [0, 3]
+
+    def test_invalid_maps_rejected(self):
+        with pytest.raises(ShardError):
+            ShardMap([])
+        with pytest.raises(ShardError):
+            ShardMap([ShardSpec(0, None, 10.0), ShardSpec(1, 20.0, None)])
+        with pytest.raises(ShardError):
+            ShardMap([ShardSpec(0, 0.0, 10.0), ShardSpec(1, 10.0, None)])
+
+    def test_replace_models_a_split(self):
+        shard_map = ShardMap.from_boundaries((DAY,))
+        new_map = shard_map.replace(1, [
+            ShardSpec(2, DAY, 2 * DAY), ShardSpec(3, 2 * DAY, None),
+        ])
+        assert [spec.shard_id for spec in new_map] == [0, 2, 3]
+        assert len(shard_map) == 2  # the original is untouched
+
+
+class TestRouting:
+    shard_map = ShardMap.from_boundaries(BOUNDS)
+
+    def test_equality_pins_one_shard(self):
+        decision = route_partitioned(
+            Comparison("start_time", "=", 2.5 * DAY), "start_time", self.shard_map
+        )
+        assert decision.kind == "pruned"
+        assert decision.shard_ids == (2,)
+
+    def test_in_list_straddling_a_boundary(self):
+        decision = route_partitioned(
+            In("start_time", [DAY - 1, DAY]), "start_time", self.shard_map
+        )
+        assert decision.kind == "pruned"
+        assert decision.shard_ids == (0, 1)
+
+    def test_open_ended_ranges_still_prune(self):
+        decision = route_partitioned(
+            Comparison("start_time", ">=", 2.5 * DAY), "start_time", self.shard_map
+        )
+        assert decision.kind == "pruned"
+        assert decision.shard_ids == (2, 3)
+        decision = route_partitioned(
+            Comparison("start_time", "<", DAY), "start_time", self.shard_map
+        )
+        assert decision.shard_ids == (0,)
+
+    def test_range_spanning_everything_is_scatter_not_pruned(self):
+        decision = route_partitioned(
+            Between("start_time", -DAY, 10 * DAY), "start_time", self.shard_map
+        )
+        assert decision.kind == "scatter"
+        assert decision.shard_ids == (0, 1, 2, 3)
+
+    def test_unrelated_and_disjunctive_predicates_scatter(self):
+        for where in (
+            None,
+            Comparison("kind", "=", "flare"),
+            Or([Comparison("start_time", "=", 1.0),
+                Comparison("kind", "=", "flare")]),
+        ):
+            decision = route_partitioned(where, "start_time", self.shard_map)
+            assert decision.kind == "scatter"
+
+
+class TestPruningThroughExecute:
+    def test_explain_plan_reports_the_route(self):
+        _single, sharded = _fresh_pair()
+        plan = sharded.explain_plan(
+            Select("hle", where=Between("start_time", DAY + 1, DAY + 100))
+        )
+        assert plan["shard_route"] == {
+            "kind": "pruned", "shards": [1], "n_shards": 4, "pruned": True,
+        }
+        plan = sharded.explain_plan(Select("hle"))
+        assert plan["shard_route"]["pruned"] is False
+        assert plan["shard_route"]["shards"] == [0, 1, 2, 3]
+        assert "over 1/4 shards (pruned)" in sharded.explain(
+            Select("hle", where=Comparison("start_time", "=", 0.0))
+        )
+
+    def test_pruned_read_skips_non_matching_shards(self):
+        single, sharded = _fresh_pair()
+        _seed_users(single, sharded)
+        _seed_events([single, sharded], n=40)
+        before = dict(sharded.reads_by_shard)
+        rows = sharded.execute(
+            Select("hle", where=Comparison("start_time", "<", DAY))
+        )
+        assert rows  # day one has events
+        touched = {
+            shard: count - before.get(shard, 0)
+            for shard, count in sharded.reads_by_shard.items()
+            if count != before.get(shard, 0)
+        }
+        assert set(touched) == {0}
+        assert sharded.route_counts["pruned"] >= 1
+
+    def test_broadcast_reads_touch_one_shard_round_robin(self):
+        _single, sharded = _fresh_pair()
+        _seed_users(sharded)
+        for _ in range(8):
+            assert len(sharded.execute(Select("admin_users"))) == 1
+        assert sharded.route_counts["broadcast"] == 8
+        # Round-robin spread the eight reads over the four shards.
+        assert len(sharded.reads_by_shard) == 4
+
+    def test_non_colocated_join_is_rejected(self):
+        _single, sharded = _fresh_pair()
+        with pytest.raises(ShardError, match="not co-located"):
+            sharded.execute(Select(
+                "hle", join=Join("raw_units", "source_unit", "unit_id"),
+            ))
+
+
+class TestDifferential:
+    """Randomized differential: the sharded answer must equal the
+    single-node answer — rows, order, and aggregates."""
+
+    def test_randomized_queries_match_single_node(self):
+        single, sharded = _fresh_pair()
+        _seed_users(single, sharded)
+        rows = _seed_events([single, sharded], n=120, seed=2003)
+        rng = random.Random(77)
+        times = sorted(row["start_time"] for row in rows)
+
+        for _round in range(25):
+            low = rng.choice(times)
+            high = low + rng.choice([100.0, DAY / 2, DAY, 2 * DAY])
+            picks = rng.sample(times, 5)
+            ordered_select = Select(
+                "hle",
+                where=Between("start_time", low, high),
+                order_by=[("start_time", rng.choice(["asc", "desc"]))],
+                limit=rng.choice([None, 3, 10]),
+                offset=rng.choice([0, 2]),
+            )
+            _assert_same(single, sharded, ordered_select, ordered=True)
+            _assert_same(
+                single, sharded,
+                Select("hle", where=In("start_time", picks)), ordered=False,
+            )
+            _assert_same(
+                single, sharded,
+                Select("hle", where=Comparison("start_time", ">=", low),
+                       order_by=[("start_time", "asc")], limit=7),
+                ordered=True,
+            )
+            _assert_same(
+                single, sharded,
+                Select("hle", where=Between("start_time", low, high),
+                       aggregates=[
+                           Aggregate("count", "*", "n"),
+                           Aggregate("sum", "total_counts", "total"),
+                           Aggregate("avg", "total_counts", "mean"),
+                           Aggregate("min", "start_time", "first"),
+                           Aggregate("max", "start_time", "last"),
+                       ]),
+                ordered=True,
+            )
+
+        # Projections, GROUP BY, and the full unfiltered scan.
+        _assert_same(
+            single, sharded,
+            Select("hle", columns=["hle_id", "kind"],
+                   order_by=[("hle_id", "asc")]),
+            ordered=True,
+        )
+        _assert_same(
+            single, sharded,
+            Select("hle", group_by=["kind"],
+                   aggregates=[Aggregate("count", "*", "n"),
+                               Aggregate("avg", "peak_rate", "rate")]),
+            ordered=True,
+        )
+        _assert_same(single, sharded, Select("hle"), ordered=False)
+
+    def test_aggregates_over_empty_match_single_node(self):
+        single, sharded = _fresh_pair()
+        select = Select("hle", aggregates=[
+            Aggregate("count", "*", "n"),
+            Aggregate("sum", "total_counts", "total"),
+            Aggregate("avg", "total_counts", "mean"),
+        ])
+        assert sharded.execute(select) == single.execute(select)
+
+    def test_co_partitioned_children_and_joins_match(self):
+        single, sharded = _fresh_pair()
+        _seed_users(single, sharded)
+        rows = _seed_events([single, sharded], n=30)
+        rng = random.Random(5)
+        for index, parent in enumerate(rng.sample(rows, 10), start=1):
+            ana = {
+                "ana_id": index, "item_id": f"ana:{index}",
+                "hle_id": parent["hle_id"], "owner_id": 1,
+                "algorithm": "histogram", "created_at": 1000.0,
+            }
+            single.execute(Insert("ana", dict(ana)))
+            sharded.execute(Insert("ana", dict(ana)))
+        # Children landed on their parent's shard: per-shard FK integrity
+        # implies the join works shard-locally.
+        _assert_same(
+            single, sharded,
+            Select("ana", join=Join("hle", "hle_id", "hle_id")),
+            ordered=False,
+        )
+        _assert_same(
+            single, sharded,
+            Select("ana", order_by=[("ana_id", "asc")]), ordered=True,
+        )
+        for spec in sharded.shard_map:
+            shard_db = sharded.shard_db(spec.shard_id)
+            parents = {row["hle_id"] for row in shard_db.table("hle").rows()}
+            for child in shard_db.table("ana").rows():
+                assert child["hle_id"] in parents
+
+    def test_updates_and_deletes_match_single_node(self):
+        single, sharded = _fresh_pair()
+        _seed_users(single, sharded)
+        _seed_events([single, sharded], n=60)
+        update = Update("hle", {"kind": "reclassified"},
+                        where=Between("start_time", 0.0, 2 * DAY))
+        assert sharded.execute(update) == single.execute(update)
+        delete = Delete("hle", where=Comparison("peak_rate", "<", 100.0))
+        assert sharded.execute(delete) == single.execute(delete)
+        _assert_same(single, sharded, Select("hle"), ordered=False)
+
+    def test_update_may_not_move_rows_across_shards(self):
+        _single, sharded = _fresh_pair()
+        _seed_users(sharded)
+        _seed_events([sharded], n=20)
+        victim = sharded.execute(
+            Select("hle", where=Comparison("start_time", "<", DAY), limit=1)
+        )[0]
+        with pytest.raises(ShardError, match="split/rebalance"):
+            sharded.execute(Update(
+                "hle", {"start_time": 3.5 * DAY},
+                where=Comparison("hle_id", "=", victim["hle_id"]),
+            ))
+
+    def test_allocate_id_is_global_across_shards(self):
+        _single, sharded = _fresh_pair()
+        _seed_users(sharded)
+        _seed_events([sharded], n=20)
+        assert sharded.allocate_id("hle", "hle_id") == 21
+        assert sharded.allocate_id("hle", "hle_id") == 22
+
+
+class TestDegradation:
+    def _dead_shard(self, **kwargs):
+        kwargs.setdefault("breaker_cooldown_s", 0.05)
+        sharded = ShardedDatabase(boundaries=BOUNDS, name="deg", **kwargs)
+        install_all(sharded)
+        _seed_users(sharded)
+        _seed_events([sharded], n=40)
+        return sharded
+
+    def test_dead_shard_degrades_only_its_time_range(self):
+        sharded = self._dead_shard()
+        total = len(sharded.execute(Select("hle")))
+        injector = FaultInjector(seed=2003)
+        injector.inject("metadb.shard.2.statement", rate=1.0)
+        with use_injector(injector):
+            rows = sharded.execute(Select("hle"))
+            assert isinstance(rows, PartialResult)
+            assert not rows.complete
+            assert [m["shard_id"] for m in rows.missing_shards] == [2]
+            assert rows.missing_shards[0]["low"] == 2 * DAY
+            # A pruned read over a healthy range is untouched: a plain,
+            # complete result.
+            healthy = sharded.execute(
+                Select("hle", where=Comparison("start_time", "<", DAY))
+            )
+            assert not isinstance(healthy, PartialResult)
+            # The dead range itself: typed degraded result, zero rows.
+            dead = sharded.execute(
+                Select("hle", where=Between("start_time", 2 * DAY, 2.5 * DAY))
+            )
+            assert isinstance(dead, PartialResult) and len(dead) == 0
+        assert sharded.degraded_count >= 2
+        assert sharded.breakers[2].state.value == "open"
+        # Fault cleared and the breaker cooled down: full service restores
+        # without operator action, nothing lost.
+        import time
+
+        time.sleep(0.06)
+        recovered = sharded.execute(Select("hle"))
+        assert not isinstance(recovered, PartialResult)
+        assert len(recovered) == total
+
+    def test_strict_mode_raises_instead_of_degrading(self):
+        sharded = self._dead_shard(degraded_reads=False)
+        injector = FaultInjector(seed=2003)
+        injector.inject("metadb.shard.1.statement", rate=1.0)
+        with use_injector(injector):
+            with pytest.raises(ShardUnavailable) as excinfo:
+                sharded.execute(Select("hle"))
+            assert excinfo.value.shard_ids == (1,)
+
+    def test_writes_never_degrade(self):
+        sharded = self._dead_shard()
+        total = len(sharded.execute(Select("hle")))
+        injector = FaultInjector(seed=2003)
+        injector.inject("metadb.shard.3.statement", rate=1.0)
+        row = {
+            "hle_id": 900, "item_id": "hle:900", "owner_id": 1,
+            "start_time": 3.5 * DAY, "end_time": 3.5 * DAY + 1,
+        }
+        with use_injector(injector):
+            with pytest.raises(Exception):
+                sharded.execute(Insert("hle", dict(row)))
+            # A write to a healthy shard still lands.
+            row_ok = dict(row, hle_id=901, item_id="hle:901", start_time=10.0,
+                          end_time=11.0)
+            sharded.execute(Insert("hle", row_ok))
+        assert len(sharded.execute(Select("hle"))) == total + 1
+
+    def test_broadcast_reads_fail_over_to_healthy_shards(self):
+        sharded = self._dead_shard()
+        injector = FaultInjector(seed=2003)
+        injector.inject("metadb.shard.0.statement", rate=1.0)
+        injector.inject("metadb.shard.1.statement", rate=1.0)
+        with use_injector(injector):
+            for _ in range(6):
+                assert len(sharded.execute(Select("admin_users"))) == 1
+
+
+class TestOnlineSplit:
+    def test_split_preserves_rows_and_ranges(self):
+        _single, sharded = _fresh_pair()
+        _seed_users(sharded)
+        seeded = _seed_events([sharded], n=80)
+        low_id, high_id = sharded.split(1, 1.5 * DAY)
+        assert sharded.n_shards == 5
+        assert [spec.shard_id for spec in sharded.shard_map] == \
+            [0, low_id, high_id, 2, 3]
+        rows = sharded.execute(Select("hle"))
+        assert len(rows) == len(seeded)
+        assert len({row["hle_id"] for row in rows}) == len(seeded)
+        for spec in sharded.shard_map:
+            for row in sharded.shard_db(spec.shard_id).table("hle").rows():
+                assert spec.covers(row["start_time"]), spec.describe()
+        assert sharded.splits == 1
+
+    def test_split_point_must_be_inside_the_range(self):
+        _single, sharded = _fresh_pair()
+        with pytest.raises(ShardError, match="outside"):
+            sharded.split(1, 5 * DAY)
+
+    def test_split_under_concurrent_reads_and_writes(self):
+        """The acceptance bar: an online split with readers and writers in
+        flight loses nothing and duplicates nothing, and no read ever
+        fails or degrades."""
+        _single, sharded = _fresh_pair()
+        _seed_users(sharded)
+        seeded = _seed_events([sharded], n=150)
+        stop = threading.Event()
+        errors: list[Exception] = []
+        written = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    rows = sharded.execute(Select("hle"))
+                    assert not isinstance(rows, PartialResult)
+                    ids = [row["hle_id"] for row in rows]
+                    assert len(ids) == len(set(ids)), "duplicated rows"
+                    assert len(ids) >= len(seeded), "lost rows"
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def writer():
+            try:
+                for index in range(60):
+                    if stop.is_set():
+                        break
+                    hle_id = 10_000 + index
+                    sharded.execute(Insert("hle", {
+                        "hle_id": hle_id, "item_id": f"hle:{hle_id}",
+                        "owner_id": 1,
+                        "start_time": DAY + index * 7.0,
+                        "end_time": DAY + index * 7.0 + 1,
+                    }))
+                    written.append(hle_id)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        try:
+            sharded.split(1, 1.5 * DAY)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        rows = sharded.execute(Select("hle"))
+        expected = {row["hle_id"] for row in seeded} | set(written)
+        assert {row["hle_id"] for row in rows} == expected
+        per_shard = sum(
+            len(sharded.shard_db(spec.shard_id).table("hle"))
+            for spec in sharded.shard_map
+        )
+        assert per_shard == len(expected)
+
+    def test_rebalance_splits_the_heaviest_shard(self):
+        _single, sharded = _fresh_pair()
+        _seed_users(sharded)
+        # Pile day two high so shard 1 is unambiguously the heaviest.
+        rows = []
+        for index in range(1, 61):
+            rows.append({
+                "hle_id": index, "item_id": f"hle:{index}", "owner_id": 1,
+                "start_time": DAY + index * 60.0,
+                "end_time": DAY + index * 60.0 + 1,
+            })
+        for row in rows:
+            sharded.execute(Insert("hle", row))
+        heavy_before = max(
+            len(sharded.shard_db(spec.shard_id).table("hle"))
+            for spec in sharded.shard_map
+        )
+        assert sharded.rebalance("hle") is not None
+        heavy_after = max(
+            len(sharded.shard_db(spec.shard_id).table("hle"))
+            for spec in sharded.shard_map
+        )
+        assert heavy_after < heavy_before
+        assert len(sharded.execute(Select("hle"))) == len(rows)
+
+    def test_topology_survives_reopen(self, tmp_path):
+        sharded = ShardedDatabase(boundaries=(DAY,), path=tmp_path / "db",
+                                  name="persist")
+        install_all(sharded)
+        _seed_users(sharded)
+        _seed_events([sharded], n=20)
+        sharded.split(1, 2 * DAY)
+        total = len(sharded.execute(Select("hle")))
+        sharded.checkpoint()
+        sharded.close()
+
+        reopened = ShardedDatabase(path=tmp_path / "db", name="persist")
+        assert reopened.n_shards == 3
+        assert [spec.high for spec in reopened.shard_map] == \
+            [DAY, 2 * DAY, None]
+        assert len(reopened.execute(Select("hle"))) == total
+
+
+class TestShardedHedc:
+    def test_full_deployment_routes_through_the_shards(self, tmp_path):
+        from repro.core import Hedc
+        from repro.web import HttpRequest
+
+        hedc = Hedc.create(tmp_path / "hedc",
+                           shard_boundaries=(60.0, 120.0, 180.0))
+        db = hedc.dm.io.default_database
+        assert isinstance(db, ShardedDatabase)
+        report = hedc.ingest_observation(duration_s=240.0, seed=13,
+                                         unit_target_photons=200_000)
+        assert report.n_events > 0
+        hedc.register_user("alice", "pw")
+        client = hedc.thin_client()
+        client.login("alice", "pw")
+        events = hedc.events()
+        assert events
+        page = client.browse_hle(events[0]["hle_id"])
+        assert page.page_bytes > 0
+        # Data really is spread over the time-range shards.
+        populated = [
+            spec.shard_id for spec in db.shard_map
+            if len(db.shard_db(spec.shard_id).table("hle"))
+        ]
+        assert len(populated) > 1
+
+        telemetry = hedc.telemetry_report()
+        assert telemetry["shard"]["n_shards"] == 4
+        assert telemetry["shard"]["routes"]["scatter"] >= 1
+        import json as json_module
+
+        metrics = hedc.web.handle(
+            HttpRequest.get("/hedc/metrics?format=json"))
+        assert metrics.status == 200
+        assert json_module.loads(metrics.text)["shard"]["n_shards"] == 4
+        debug = hedc.web.handle(HttpRequest.get("/hedc/debug"))
+        assert debug.status == 200
+        assert "shards (4" in debug.text
+
+    def test_unsharded_deployment_reports_no_shard_section(self, populated_hedc):
+        assert populated_hedc.telemetry_report()["shard"] is None
+
+
+class TestScalingModel:
+    def test_one_shard_matches_the_unsharded_model(self):
+        from repro.evalmodel import simulate_browsing, simulate_sharded_browsing
+
+        base = simulate_browsing(24, duration_s=120.0)
+        one = simulate_sharded_browsing(24, n_shards=1, duration_s=120.0)
+        assert one.throughput_rps == pytest.approx(base.throughput_rps, rel=1e-6)
+
+    def test_throughput_grows_with_shards(self):
+        from repro.evalmodel import simulate_sharded_browsing
+
+        results = [
+            simulate_sharded_browsing(96, n_middle_tier=5, n_shards=n,
+                                      duration_s=120.0)
+            for n in (1, 4)
+        ]
+        assert results[1].throughput_rps > 1.5 * results[0].throughput_rps
+
+    def test_projection_reaches_millions_of_users(self):
+        from repro.evalmodel import project_scaling, scaling_series
+
+        series = scaling_series()
+        capacities = [p.capacity_rps for p in series]
+        assert capacities == sorted(capacities)
+        assert series[-1].users_supported > 1_000_000
+        # Replication multiplies shard capacity linearly.
+        replicated = project_scaling(256, replicas_per_shard=4)
+        assert replicated.users_supported > 4_000_000
+
+    def test_fully_pruned_workload_scales_linearly(self):
+        from repro.evalmodel import project_scaling
+
+        one = project_scaling(1, pruned_fraction=1.0)
+        four = project_scaling(4, pruned_fraction=1.0)
+        assert four.capacity_rps == pytest.approx(4 * one.capacity_rps)
+
+    def test_measured_pruned_fraction_feeds_the_projection(self):
+        """Close the loop: the route counters of a real sharded workload
+        calibrate the analytic model."""
+        from repro.evalmodel import project_scaling
+
+        _single, sharded = _fresh_pair()
+        _seed_users(sharded)
+        rows = _seed_events([sharded], n=40)
+        rng = random.Random(11)
+        for _ in range(30):
+            t = rng.choice(rows)["start_time"]
+            sharded.execute(Select(
+                "hle", where=Between("start_time", t - 100, t + 100)))
+            sharded.execute(Select("hle", order_by=[("peak_rate", "desc")],
+                                   limit=5))
+        routed = sharded.route_counts
+        data_reads = routed["pruned"] + routed["scatter"]
+        fraction = routed["pruned"] / data_reads
+        assert 0.0 < fraction < 1.0
+        projection = project_scaling(16, pruned_fraction=fraction)
+        assert projection.capacity_rps > \
+            project_scaling(1, pruned_fraction=fraction).capacity_rps
+
+    def test_scatter_gather_resumes_on_the_slowest_branch(self):
+        from repro.simkit import FcfsServer, Simulator, scatter_gather, spawn
+
+        sim = Simulator()
+        servers = [FcfsServer(sim, name=f"s{i}") for i in range(3)]
+        servers[2].request(0.5)  # pre-load one branch with queueing delay
+        finished = {}
+
+        def fan_out():
+            yield scatter_gather(servers, 0.1)
+            finished["at"] = sim.now
+
+        spawn(sim, fan_out())
+        sim.run(until=2.0)
+        assert finished["at"] == pytest.approx(0.6)
+
+    def test_config_placement_classes(self):
+        assert HEDC_SHARD_CONFIG.kind("hle") == "partitioned"
+        assert HEDC_SHARD_CONFIG.kind("ana") == "co_partitioned"
+        assert HEDC_SHARD_CONFIG.kind("admin_users") == "broadcast"
+        assert HEDC_SHARD_CONFIG.joinable("ana", "hle")
+        assert HEDC_SHARD_CONFIG.joinable("catalog_members", "catalogs")
+        assert not HEDC_SHARD_CONFIG.joinable("hle", "raw_units")
