@@ -497,6 +497,150 @@ def run_shard() -> None:
     print(f"  wrote {path.name}\n")
 
 
+def run_repl() -> None:
+    import threading
+    import time
+
+    from repro.evalmodel import project_scaling, replica_efficiency
+    from repro.metadb import (
+        Column, ColumnType, Database, Insert, Select, TableSchema,
+    )
+    from repro.repl import ReplicaGroup
+    from repro.resil import FaultInjector, use_injector
+
+    schema = TableSchema(
+        "events",
+        [Column("event_id", ColumnType.INTEGER, nullable=False),
+         Column("rate", ColumnType.REAL, nullable=False)],
+        primary_key="event_id",
+    )
+    n_rows = 1000
+    select = Select("events", limit=50)
+
+    def build(n_copies, path=None, cooldown=60.0):
+        group = ReplicaGroup(name=f"bench-repl{n_copies}", path=path,
+                             n_replicas=n_copies - 1,
+                             breaker_cooldown_s=cooldown)
+        group.create_table(schema)
+        for index in range(n_rows):
+            group.execute(Insert("events", {
+                "event_id": index, "rate": float(index % 97),
+            }))
+        return group
+
+    # -- read throughput vs copies (4 concurrent readers, fixed window) --
+    throughput = {}
+    for n_copies in (1, 2, 4):
+        group = build(n_copies)
+        counts = [0] * 4
+        stop = threading.Event()
+
+        def reader(slot, target=group):
+            while not stop.is_set():
+                target.execute(select)
+                counts[slot] += 1
+
+        threads = [threading.Thread(target=reader, args=(slot,))
+                   for slot in range(4)]
+        window_s = 0.5
+        for thread in threads:
+            thread.start()
+        time.sleep(window_s)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        throughput[str(n_copies)] = {
+            "reads_per_s": sum(counts) / window_s,
+            "reads_by_copy": dict(group.reads_by_copy),
+        }
+
+    # -- failover blip: read latency while one copy dies mid-rotation ----
+    group = build(2)
+    baseline_samples = []
+    for _ in range(50):
+        started = time.perf_counter()
+        group.execute(select)
+        baseline_samples.append(time.perf_counter() - started)
+    baseline_s = min(baseline_samples)
+    durations = []
+    injector = FaultInjector(seed=31)
+    injector.inject("repl.replica.bench-repl2-r1.crash", rate=1.0)
+    with use_injector(injector):
+        for _ in range(40):
+            started = time.perf_counter()
+            group.execute(select)
+            durations.append(time.perf_counter() - started)
+    blip_s = max(durations) - baseline_s
+
+    # -- catch-up: log replay vs full re-clone ---------------------------
+    workdir = Path(tempfile.mkdtemp(prefix="hedc-repl-"))
+    group = build(2, path=workdir)
+    group.kill_replica("bench-repl2-r1")
+    delta = 200
+    for index in range(n_rows, n_rows + delta):
+        group.execute(Insert("events", {
+            "event_id": index, "rate": 0.0,
+        }))
+    started = time.perf_counter()
+    replay = group.rejoin_replica("bench-repl2-r1")
+    replay_s = time.perf_counter() - started
+    assert replay["mode"] == "log_replay", replay
+    # Force the fallback path: write past the crashed copy, then evict
+    # the retained window so log replay cannot reach back far enough.
+    group.kill_replica("bench-repl2-r1")
+    for index in range(n_rows + delta, n_rows + 2 * delta):
+        group.execute(Insert("events", {
+            "event_id": index, "rate": 0.0,
+        }))
+    group.log.truncate_to(group.log.head_lsn)
+    started = time.perf_counter()
+    clone = group.rejoin_replica("bench-repl2-r1")
+    clone_s = time.perf_counter() - started
+    assert clone["mode"] == "full_resync", clone
+
+    # -- projection: measured costs discount follower capacity ----------
+    efficiency = replica_efficiency(
+        failover_blip_s=max(blip_s, 0.0), mtbf_s=3600.0,
+        ship_overhead_fraction=0.01,
+    )
+    projected = {
+        str(r): project_scaling(16, replicas_per_shard=r,
+                                replica_read_efficiency=efficiency)
+        .users_supported
+        for r in (1, 2, 4)
+    }
+    payload = {
+        "table_rows": n_rows,
+        "read_throughput": throughput,
+        "failover": {
+            "baseline_read_s": baseline_s,
+            "worst_read_during_failover_s": max(durations),
+            "blip_s": blip_s,
+        },
+        "catchup": {
+            "delta_transactions": delta,
+            "log_replay_s": replay_s,
+            "log_replay_records": replay["replayed_records"],
+            "full_resync_s": clone_s,
+            "full_resync_rows": clone["rows_cloned"],
+        },
+        "replica_read_efficiency": efficiency,
+        "projected_users_16_shards": projected,
+    }
+    path = _write_bench("BENCH_replication.json", payload)
+    print(f"Replica group ({n_rows:,} rows, 4 reader threads)")
+    for n_copies, entry in throughput.items():
+        print(f"  {n_copies} cop(y/ies): {entry['reads_per_s']:10,.0f} reads/s")
+    print(f"  failover blip          : {blip_s * 1e3:8.2f} ms "
+          f"(baseline {baseline_s * 1e6:.0f} us/read)")
+    print(f"  catch-up ({delta} tx)     : log replay {replay_s * 1e3:8.2f} ms"
+          f" vs full re-sync {clone_s * 1e3:8.2f} ms")
+    print(f"  replica efficiency     : {efficiency:.3f} -> projected users at"
+          f" 16 shards: " + ", ".join(
+              f"{r}x={users:,}" for r, users in projected.items()))
+    print(f"  wrote {path.name}\n")
+
+
 EXPERIMENTS = {
     "fig4": run_fig4,
     "fig5": run_fig5,
@@ -512,6 +656,7 @@ EXPERIMENTS = {
     "query": run_query,
     "backprojection": run_backprojection,
     "shard": run_shard,
+    "repl": run_repl,
 }
 
 

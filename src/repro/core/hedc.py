@@ -65,6 +65,7 @@ class Hedc:
         with_tape: bool = False,
         obs: Optional[Observability] = None,
         shard_boundaries: Optional[Sequence[float]] = None,
+        replicas_per_shard: int = 1,
     ):
         self.data_dir = Path(data_dir)
         # A private hub per deployment: every tier below shares it, so
@@ -73,13 +74,25 @@ class Hedc:
         if shard_boundaries is not None:
             # Partition the catalog by observation time: the DM stack
             # above is unchanged, statements route through the shard
-            # router transparently.
+            # router transparently.  ``replicas_per_shard > 1`` nests a
+            # log-shipped replica group inside every shard for read HA.
             from ..shard import ShardedDatabase
 
             database: Any = ShardedDatabase(
                 boundaries=shard_boundaries,
                 path=self.data_dir / "db" if persistent else None,
                 name="hedc",
+                obs=self.obs,
+                replicas_per_shard=replicas_per_shard,
+            )
+        elif replicas_per_shard > 1:
+            # Unsharded but replicated: one standalone replica group.
+            from ..repl import ReplicaGroup
+
+            database = ReplicaGroup(
+                path=self.data_dir / "db" if persistent else None,
+                name="hedc",
+                n_replicas=replicas_per_shard - 1,
                 obs=self.obs,
             )
         else:

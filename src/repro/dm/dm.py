@@ -130,6 +130,7 @@ class DataManager:
         # Duck-typed: present exactly when the default database is a
         # ShardedDatabase (repro.shard), so the DM has no shard import.
         shard_reporter = getattr(self.io.default_database, "shard_report", None)
+        repl_reporter = getattr(self.io.default_database, "repl_report", None)
         return {
             "node": self.node_name,
             "tracing_enabled": self.obs.enabled,
@@ -140,6 +141,7 @@ class DataManager:
                 "wal_fsyncs": registry.value("metadb.wal.fsyncs"),
             },
             "shard": shard_reporter() if shard_reporter is not None else None,
+            "replication": repl_reporter() if repl_reporter is not None else None,
             "pools": pool_waits,
             "sessions": {
                 "size": self.sessions.size,

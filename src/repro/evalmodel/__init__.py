@@ -29,6 +29,7 @@ from .sharding import (
     print_scaling_projection,
     print_sharded_figure5,
     project_scaling,
+    replica_efficiency,
     scaling_series,
     simulate_sharded_browsing,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "print_sharded_figure5",
     "print_table1",
     "project_scaling",
+    "replica_efficiency",
     "scaling_series",
     "simulate_browsing",
     "simulate_processing",

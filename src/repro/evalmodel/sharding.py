@@ -198,6 +198,49 @@ class ScalingProjection:
     shard_load_per_request_s: float
     capacity_rps: float        # sustainable web requests / second
     users_supported: int       # registered users at the standard activity mix
+    replicas_per_shard: int = 1
+    #: Read copies a shard effectively fields once replication losses
+    #: (staleness skips, failover blips, shipping overhead) are charged.
+    effective_copies: float = 1.0
+
+
+def replica_efficiency(
+    stale_skip_fraction: float = 0.0,
+    failover_blip_s: float = 0.0,
+    mtbf_s: float = float("inf"),
+    ship_overhead_fraction: float = 0.0,
+) -> float:
+    """Fraction of a follower's nominal read capacity actually usable.
+
+    The replica group (:mod:`repro.repl`) does not deliver a full extra
+    copy of read capacity per follower; three measured costs shave it:
+
+    * ``stale_skip_fraction`` — share of read attempts that skip a
+      follower because its lag exceeds ``max_lag`` (the bounded-staleness
+      contract): from the ``repl.stale_skips`` counter over total reads.
+    * ``failover_blip_s`` / ``mtbf_s`` — when a copy dies, reads retry
+      against the next copy; the blip (measured by the ``repl``
+      benchmark) times the failure rate is capacity lost to re-routing.
+    * ``ship_overhead_fraction`` — the primary spends this fraction of
+      its write budget appending to the replication log and shipping
+      (guarded < 5% by ``benchmarks/test_resil_overhead.py``), which
+      contends with reads on the same copy.
+
+    All defaults are zero, i.e. a perfectly efficient follower.
+    """
+    if not 0.0 <= stale_skip_fraction <= 1.0:
+        raise ValueError("stale_skip_fraction must be within [0, 1]")
+    if failover_blip_s < 0.0 or mtbf_s <= 0.0:
+        raise ValueError("failover_blip_s must be >= 0 and mtbf_s > 0")
+    if not 0.0 <= ship_overhead_fraction <= 1.0:
+        raise ValueError("ship_overhead_fraction must be within [0, 1]")
+    unavailable = failover_blip_s / mtbf_s if mtbf_s != float("inf") else 0.0
+    efficiency = (
+        (1.0 - stale_skip_fraction)
+        * (1.0 - min(1.0, unavailable))
+        * (1.0 - ship_overhead_fraction)
+    )
+    return max(0.0, min(1.0, efficiency))
 
 
 def project_scaling(
@@ -205,6 +248,7 @@ def project_scaling(
     pruned_fraction: float = DEFAULT_PRUNED_FRACTION,
     scatter_fixed_fraction: float = SCATTER_FIXED_FRACTION,
     replicas_per_shard: int = 1,
+    replica_read_efficiency: float = 1.0,
     think_time_s: float = THINK_TIME_S,
     active_fraction: float = ACTIVE_FRACTION,
 ) -> ScalingProjection:
@@ -216,9 +260,17 @@ def project_scaling(
     cost on *every* shard.  Capacity is where the busiest shard reaches
     100%; the user population follows from one click per ``think_time_s``
     by the ``active_fraction`` of registered users.
+
+    ``replicas_per_shard`` copies multiply read capacity, discounted by
+    ``replica_read_efficiency`` (see :func:`replica_efficiency`): the
+    primary always counts as one full copy; each follower contributes
+    ``efficiency`` of a copy.  The default efficiency of 1.0 reproduces
+    the pre-replication-aware projection exactly.
     """
     if n_shards < 1 or replicas_per_shard < 1:
         raise ValueError("need at least one shard and one replica")
+    if not 0.0 <= replica_read_efficiency <= 1.0:
+        raise ValueError("replica_read_efficiency must be within [0, 1]")
     full_service = 1.0 / DB_QUERIES_PER_SECOND
     scatter_per_shard = full_service * _scatter_service_fraction(
         n_shards, scatter_fixed_fraction
@@ -227,7 +279,8 @@ def project_scaling(
         pruned_fraction * full_service / n_shards
         + (1.0 - pruned_fraction) * scatter_per_shard
     )
-    capacity = replicas_per_shard / per_shard_load
+    effective_copies = 1.0 + (replicas_per_shard - 1) * replica_read_efficiency
+    capacity = effective_copies / per_shard_load
     active_rps_per_user = active_fraction / think_time_s
     return ScalingProjection(
         n_shards=n_shards,
@@ -235,6 +288,8 @@ def project_scaling(
         shard_load_per_request_s=per_shard_load,
         capacity_rps=capacity,
         users_supported=int(capacity / active_rps_per_user),
+        replicas_per_shard=replicas_per_shard,
+        effective_copies=effective_copies,
     )
 
 

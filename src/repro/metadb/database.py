@@ -80,6 +80,12 @@ class Database:
         # Per-access-path hit counters, cached so the hot SELECT path pays
         # one dict lookup instead of a registry lookup with fresh labels.
         self._plan_counters: dict[str, Any] = {}
+        # Replication: listeners fired after each durable commit (the
+        # log-shipping hook) and the highest LSN this copy has applied as
+        # a follower.  The offset is recovered from ``__repl_ack__``
+        # journal records so a crashed follower knows where to resume.
+        self._commit_listeners: list[Any] = []
+        self.replication_offset = 0
         self._journal: Optional[Journal] = None
         if path is not None:
             self._journal = Journal(Path(path), obs=self.obs, fault_scope=fault_scope)
@@ -116,6 +122,12 @@ class Database:
                     self._tables[schema.name] = Table(schema)
                 elif record["kind"] == "drop_table":
                     self._tables.pop(record["table"], None)
+                continue
+            if operation == "__repl_ack__":
+                # Follower bookkeeping: the batch journaled on this line
+                # was shipped replication traffic; the ack is atomic with
+                # the data it acknowledges.
+                self.replication_offset = int(record.get("lsn", 0))
                 continue
             table = self._tables[record["table"]]
             if operation == "insert":
@@ -239,6 +251,83 @@ class Database:
             if self._journal is not None and tx.redo:
                 self._journal.append_transaction(tx.tx_id, tx.redo)
             self.stats.transactions_committed += 1
+            if tx.redo and self._commit_listeners:
+                for listener in self._commit_listeners:
+                    listener(tx.tx_id, tx.redo)
+
+    def add_commit_listener(self, listener: Any) -> None:
+        """Register ``fn(tx_id, redo_records)`` called after each durable
+        commit with a non-empty redo — the replication log-shipping hook.
+
+        Fired under the database lock, after the WAL append: what the
+        listener sees is exactly what recovery would replay.
+        """
+        with self._lock:
+            self._commit_listeners.append(listener)
+
+    # -- replication (follower side) ---------------------------------------------
+
+    def apply_redo(self, records: list[dict[str, Any]], tx_id: int = 0,
+                   lsn: Optional[int] = None) -> bool:
+        """Apply shipped redo records — a replication follower's write path.
+
+        Rows arrive as final images carrying their primary-side rowids, so
+        application bypasses normalization and FK checks (the primary
+        already enforced both).  With ``lsn`` the batch is idempotent: a
+        batch at or below :attr:`replication_offset` is a duplicate ship
+        (a lost ack) and is skipped, and the offset advance is journaled
+        in the same WAL line as the batch, so a crash can never leave the
+        ack ahead of the data or the data ahead of the ack.  Returns
+        ``True`` if the batch was applied, ``False`` if deduplicated.
+        """
+        with self._lock:
+            self._require_open()
+            if lsn is not None and lsn <= self.replication_offset:
+                return False
+            for record in records:
+                self._apply_redo_record(record)
+            if lsn is not None:
+                self.replication_offset = lsn
+            if self._journal is not None:
+                journaled = list(records)
+                if lsn is not None:
+                    journaled.append({"op": "__repl_ack__", "lsn": lsn})
+                if journaled:
+                    self._journal.append_transaction(tx_id, journaled)
+            return True
+
+    def set_replication_offset(self, lsn: int) -> None:
+        """Force the follower offset (used when a copy is re-synced out of
+        band, e.g. after anti-entropy repair or a cross-restart bootstrap,
+        where the shipped-log LSNs restart)."""
+        with self._lock:
+            self._require_open()
+            self.replication_offset = lsn
+            if self._journal is not None:
+                self._journal.append_transaction(0, [{"op": "__repl_ack__", "lsn": lsn}])
+
+    def _apply_redo_record(self, record: dict[str, Any]) -> None:
+        operation = record["op"]
+        if operation == "__ddl__":
+            if record["kind"] == "create_table":
+                schema = TableSchema.from_dict(record["schema"])
+                if schema.name not in self._tables:
+                    self._tables[schema.name] = Table(schema)
+            elif record["kind"] == "drop_table":
+                self._tables.pop(record["table"], None)
+            return
+        table = self._tables[record["table"]]
+        if operation == "insert":
+            table.restore(record["rowid"], dict(record["row"]))
+            self.stats.rows_written += 1
+        elif operation == "update":
+            table.update(record["rowid"], record["changes"])
+            self.stats.rows_written += 1
+        elif operation == "delete":
+            table.delete(record["rowid"])
+            self.stats.rows_written += 1
+        else:
+            raise SchemaError(f"cannot apply redo record {record!r}")
 
     def rollback(self, tx: Transaction) -> None:
         with self._lock:

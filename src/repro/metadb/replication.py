@@ -24,7 +24,7 @@ import time
 from typing import Any, Optional, Union
 
 from ..obs import Observability, resolve as resolve_obs
-from ..resil.breaker import BreakerOpen, CircuitBreaker
+from ..resil.breaker import BreakerOpen, BreakerState, CircuitBreaker
 from ..resil.faults import fire as fire_fault
 from ..resil.policies import TRANSIENT_ERRORS
 from .database import Database, DatabaseStats
@@ -243,12 +243,26 @@ class ReplicatedDatabase:
             copies = self._copies()
             start = self._read_cursor
             self._read_cursor += 1
+        # Open-breaker copies leave the rotation entirely *before* any
+        # attempt is made, instead of burning a failover hop (and a
+        # breaker rejection) per read that lands on them.  The breaker's
+        # half-open probe budget is still consumed only by allow() right
+        # before a real attempt, so probes are never leaked on filtering.
+        eligible: list[Database] = []
+        for copy in copies:
+            if self._breaker_for(copy).state is BreakerState.OPEN:
+                self.obs.count("metadb.replication.skipped_open",
+                               db=self.primary.name, copy=copy.name)
+            else:
+                eligible.append(copy)
         last_transient: Optional[BaseException] = None
-        for offset in range(len(copies)):
-            copy = copies[(start + offset) % len(copies)]
+        for offset in range(len(eligible)):
+            copy = eligible[(start + offset) % len(eligible)]
             breaker = self._breaker_for(copy)
             if not breaker.allow():
                 continue
+            self.obs.count("metadb.replication.read_attempts",
+                           db=self.primary.name, copy=copy.name)
             try:
                 fire_fault(f"metadb.replica.{copy.name}")
                 rows = copy.execute(statement)

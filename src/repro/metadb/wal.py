@@ -135,30 +135,78 @@ class Journal:
             }
         return {"tables": tables}
 
-    def replay(self) -> Iterator[dict[str, Any]]:
-        """Yield journal entries in commit order, skipping torn tails."""
+    def _scan_entries(self) -> list[dict[str, Any]]:
+        """Read all decodable journal entries, healing a torn tail.
+
+        A crash mid-append can leave a partially written final line.  A
+        strict byte-prefix of a JSON object cannot itself parse as JSON
+        (the braces are unbalanced), so an undecodable line marks the torn
+        tail: everything from that byte onward is physically truncated away
+        — otherwise the next append would concatenate onto the partial line
+        and corrupt *two* records — and the discard is reported to the
+        event log.  The one benign case is a final line that parses but
+        lost only its trailing newline; the record is complete data, so it
+        is kept and the newline repaired in place.
+        """
         if not self.journal_path.exists():
-            return
-        with open(self.journal_path, encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
+            return []
+        data = self.journal_path.read_bytes()
+        entries: list[dict[str, Any]] = []
+        size = len(data)
+        position = 0
+        good_end = 0
+        missing_newline = False
+        while position < size:
+            newline = data.find(b"\n", position)
+            complete = newline != -1
+            end = newline + 1 if complete else size
+            stripped = data[position:end].strip()
+            if stripped:
                 try:
-                    entry = json.loads(line)
-                except json.JSONDecodeError:
-                    # A torn final write after a crash: ignore the tail.
-                    break
-                if "records" in entry:
-                    for record in entry["records"]:
-                        record = dict(record)
-                        if "row" in record:
-                            record["row"] = _decode_row(record["row"])
-                        if "changes" in record:
-                            record["changes"] = _decode_row(record["changes"])
-                        yield record
-                elif "ddl" in entry:
-                    yield {"op": "__ddl__", **entry["ddl"]}
+                    entry = json.loads(stripped.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    entry = None
+                if not isinstance(entry, dict):
+                    self._truncate_torn_tail(good_end, size - good_end)
+                    return entries
+                entries.append(entry)
+                missing_newline = not complete
+            position = end
+            good_end = end
+        if missing_newline:
+            with open(self.journal_path, "ab") as handle:
+                handle.write(b"\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        return entries
+
+    def _truncate_torn_tail(self, good_end: int, torn_bytes: int) -> None:
+        self.close()
+        with open(self.journal_path, "r+b") as handle:
+            handle.truncate(good_end)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.obs.count("metadb.wal.torn_tails")
+        self.obs.event(
+            "warn", "metadb", "wal.torn_tail",
+            f"discarded {torn_bytes} torn byte(s) at the journal tail",
+            journal=str(self.journal_path), kept_bytes=good_end,
+            discarded_bytes=torn_bytes,
+        )
+
+    def replay(self) -> Iterator[dict[str, Any]]:
+        """Yield journal entries in commit order, discarding a torn tail."""
+        for entry in self._scan_entries():
+            if "records" in entry:
+                for record in entry["records"]:
+                    record = dict(record)
+                    if "row" in record:
+                        record["row"] = _decode_row(record["row"])
+                    if "changes" in record:
+                        record["changes"] = _decode_row(record["changes"])
+                    yield record
+            elif "ddl" in entry:
+                yield {"op": "__ddl__", **entry["ddl"]}
 
     def close(self) -> None:
         if self._handle is not None:

@@ -1,0 +1,29 @@
+"""Replica groups with durable log-shipping replication.
+
+The paper's scaling story (§7.3) stops at "replicate the database using
+standard techniques"; this package supplies the standard techniques.  A
+:class:`ReplicaGroup` wraps one primary :class:`~repro.metadb.Database`
+and N followers: writers go to the primary, whose committed redo records
+flow into an in-memory :class:`ReplicationLog`; a :class:`LogShipper`
+streams them to followers with acknowledged offsets.  On top sit the
+robustness pieces — bounded-staleness read failover (``max_lag``),
+anti-entropy range-checksum repair, and crash-consistent rejoin via the
+follower's own WAL plus log replay.
+"""
+
+from .antientropy import range_checksums, rowid_ranges, verify_replica
+from .group import Replica, ReplicaGroup, ReplicaState
+from .log import LogEntry, ReplicationLog
+from .shipper import LogShipper
+
+__all__ = [
+    "LogEntry",
+    "LogShipper",
+    "Replica",
+    "ReplicaGroup",
+    "ReplicaState",
+    "ReplicationLog",
+    "range_checksums",
+    "rowid_ranges",
+    "verify_replica",
+]

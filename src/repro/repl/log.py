@@ -1,0 +1,90 @@
+"""The replication log: committed redo batches, totally ordered by LSN.
+
+The primary's commit listener appends each durable transaction's redo
+records here; followers consume entries strictly in LSN order.  The log
+is in-memory (the durable copy of every record already lives in the
+primary's WAL) and retains a bounded suffix: a follower whose acked
+offset has fallen behind :attr:`ReplicationLog.base_lsn` can no longer
+catch up by replay and must be re-synced via anti-entropy.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from itertools import islice
+from typing import Any, NamedTuple
+
+
+class LogEntry(NamedTuple):
+    """One committed transaction, as shipped: ``records`` is the redo
+    batch exactly as journaled on the primary.  A ``NamedTuple`` (not a
+    frozen dataclass) because one is built per commit on the hot path."""
+
+    lsn: int
+    tx_id: int
+    records: tuple[dict[str, Any], ...]
+
+
+class ReplicationLog:
+    """Thread-safe append-only sequence of :class:`LogEntry`.
+
+    LSNs are 1-based and dense.  Entries with ``base_lsn < lsn <=
+    head_lsn`` are retained; :meth:`truncate_to` advances the base once
+    every follower has acknowledged past it.
+    """
+
+    def __init__(self, retain: int = 4096):
+        # A deque so steady-state eviction is O(1): the commit hook rides
+        # every primary write, and a list would re-copy ``retain``
+        # elements per append once the cap is reached.
+        self._entries: deque[LogEntry] = deque()
+        self._lock = threading.Lock()
+        self._base = 0
+        self._head = 0
+        self._retain = retain
+
+    @property
+    def head_lsn(self) -> int:
+        return self._head
+
+    @property
+    def base_lsn(self) -> int:
+        return self._base
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def append(self, tx_id: int, records: list[dict[str, Any]]) -> int:
+        """Append one committed batch; returns its LSN."""
+        with self._lock:
+            self._head += 1
+            self._entries.append(LogEntry(self._head, tx_id, tuple(records)))
+            while len(self._entries) > self._retain:
+                self._entries.popleft()
+                self._base += 1
+            return self._head
+
+    def entries_from(self, lsn: int) -> list[LogEntry]:
+        """All retained entries with LSN strictly greater than ``lsn``.
+
+        Raises :class:`LookupError` if ``lsn`` has fallen behind the
+        retained window (the caller must fall back to a full re-sync).
+        """
+        with self._lock:
+            if lsn < self._base:
+                raise LookupError(
+                    f"lsn {lsn} predates retained log (base {self._base})"
+                )
+            start = lsn - self._base
+            return list(islice(self._entries, start, None))
+
+    def truncate_to(self, lsn: int) -> int:
+        """Drop entries with LSN <= ``lsn``; returns the number dropped."""
+        with self._lock:
+            dropped = min(max(lsn, self._base), self._head) - self._base
+            for _ in range(dropped):
+                self._entries.popleft()
+            self._base += dropped
+            return dropped

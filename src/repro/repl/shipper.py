@@ -1,0 +1,61 @@
+"""Log shipping: streaming committed redo batches to one follower.
+
+The shipper is deliberately dumb — it owns no topology and no policy.
+Given a replica it pushes every retained entry past the replica's acked
+offset, one batch at a time, advancing the ack only after the follower
+has durably applied the batch.  Failure policy (breakers, state
+transitions, re-sync) lives in :class:`~repro.repl.group.ReplicaGroup`.
+
+Fault points (armed via ``repro.resil.faults``):
+
+- ``repl.ship``   — fires before a batch is applied to the follower;
+  an injected error models the batch being lost in flight.
+- ``repl.ack``    — fires after the follower applied the batch but
+  before the ack is recorded; an injected error models a lost ack.
+  The batch is re-shipped later and deduplicated by LSN on the
+  follower, so a lost ack never duplicates rows.
+- ``repl.replica.<name>.crash`` — per-copy point fired on every apply
+  (and on reads, see the group), so chaos tests can kill one copy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..obs import Observability, resolve as resolve_obs
+from ..resil.faults import fire as fire_fault
+from .log import ReplicationLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .group import Replica
+
+
+class LogShipper:
+    """Pushes retained log entries to followers, tracking acked offsets."""
+
+    def __init__(self, log: ReplicationLog, obs: Optional[Observability] = None):
+        self.log = log
+        self.obs = resolve_obs(obs)
+
+    def ship(self, replica: "Replica", crash_point: Optional[str] = None) -> int:
+        """Stream every entry past ``replica.acked_lsn``; returns records
+        shipped.  Raises :class:`LookupError` if the replica has fallen
+        behind the retained log window, or whatever the follower raised
+        mid-apply — in both cases ``acked_lsn`` reflects exactly the
+        batches durably acknowledged, so a retry resumes correctly.
+        """
+        shipped = 0
+        for entry in self.log.entries_from(replica.acked_lsn):
+            fire_fault("repl.ship")
+            if crash_point is not None:
+                fire_fault(crash_point)
+            applied = replica.db.apply_redo(
+                list(entry.records), tx_id=entry.tx_id, lsn=entry.lsn
+            )
+            fire_fault("repl.ack")
+            replica.acked_lsn = entry.lsn
+            if applied:
+                shipped += len(entry.records)
+        if shipped:
+            self.obs.count("repl.shipped_records", shipped)
+        return shipped

@@ -22,6 +22,12 @@ Injection points wired through the tiers:
                            kills that time range's shard mid-scatter
 ``metadb.shard.<id>.wal.fsync``  one shard's journal fsync fails (fires
                            alongside the global ``metadb.wal.fsync``)
+``repl.ship``              a :class:`~repro.repl.LogShipper` batch is lost
+                           in flight before the follower applies it
+``repl.ack``               the follower applied a shipped batch but the
+                           ack is lost; the re-ship is deduplicated by LSN
+``repl.replica.<name>.crash``  one replica-group copy crashes: fires on
+                           every ship apply and read routed to that copy
 ``filestore.store``        :meth:`Archive.store` raises (write I/O error)
 ``filestore.read``         :meth:`Archive.retrieve` raises (read I/O error)
 ``filestore.corrupt``      :meth:`Archive.retrieve` flips a payload byte

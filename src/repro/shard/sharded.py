@@ -110,6 +110,8 @@ class ShardedDatabase:
         config: Optional[ShardConfig] = None,
         breaker_cooldown_s: float = 5.0,
         degraded_reads: bool = True,
+        replicas_per_shard: int = 1,
+        replica_max_lag: int = 0,
     ):
         self.name = name
         self.obs = resolve_obs(obs)
@@ -117,6 +119,10 @@ class ShardedDatabase:
         self._path = Path(path) if path is not None else None
         self.breaker_cooldown_s = breaker_cooldown_s
         self.degraded_reads = degraded_reads
+        if replicas_per_shard < 1:
+            raise ShardError("replicas_per_shard must be >= 1")
+        self.replicas_per_shard = replicas_per_shard
+        self.replica_max_lag = replica_max_lag
         self.stats = DatabaseStats()
         self.breakers: dict[int, CircuitBreaker] = {}
         # Write/begin gate an online split closes briefly during cutover.
@@ -149,6 +155,11 @@ class ShardedDatabase:
             if topo_path.exists():
                 with open(topo_path, encoding="utf-8") as handle:
                     payload = json.load(handle)
+                # The replica count is part of the persisted topology, so a
+                # reopened catalog rebuilds the same replica groups.
+                self.replicas_per_shard = payload.get(
+                    "replicas_per_shard", self.replicas_per_shard
+                )
                 return [
                     ShardSpec(entry["id"], entry["low"], entry["high"])
                     for entry in payload["shards"]
@@ -157,6 +168,21 @@ class ShardedDatabase:
 
     def _new_shard_db(self, shard_id: int) -> Database:
         shard_path = self._path / f"shard-{shard_id}" if self._path else None
+        if self.replicas_per_shard > 1:
+            # Local import: repro.repl must stay importable without the
+            # shard tier (it is also used standalone), so the dependency
+            # points this way only.
+            from ..repl import ReplicaGroup
+
+            return ReplicaGroup(
+                path=shard_path,
+                name=f"{self.name}-s{shard_id}",
+                n_replicas=self.replicas_per_shard - 1,
+                obs=self.obs,
+                max_lag=self.replica_max_lag,
+                breaker_cooldown_s=self.breaker_cooldown_s,
+                fault_scope=f"metadb.shard.{shard_id}",
+            )
         return Database(
             path=shard_path,
             name=f"{self.name}-s{shard_id}",
@@ -173,7 +199,8 @@ class ShardedDatabase:
                 {"id": spec.shard_id, "low": spec.low, "high": spec.high,
                  "dir": f"shard-{spec.shard_id}"}
                 for spec in self._topology.shard_map
-            ]
+            ],
+            "replicas_per_shard": self.replicas_per_shard,
         }
         tmp_path = self._path / (TOPOLOGY_FILE + ".tmp")
         with open(tmp_path, "w", encoding="utf-8") as handle:
@@ -710,7 +737,7 @@ class ShardedDatabase:
                 for table in data_tables if db.has_table(table)
             }
             breaker = self.breakers.get(spec.shard_id)
-            shards.append({
+            entry = {
                 "shard_id": spec.shard_id,
                 "low": spec.low,
                 "high": spec.high,
@@ -720,9 +747,14 @@ class ShardedDatabase:
                 "breaker": breaker.state.value if breaker is not None else "closed",
                 "reads": self.reads_by_shard.get(spec.shard_id, 0),
                 "writes": self.writes_by_shard.get(spec.shard_id, 0),
-            })
+            }
+            reporter = getattr(db, "repl_report", None)
+            if reporter is not None:
+                entry["replicas"] = reporter()
+            shards.append(entry)
         return {
             "n_shards": len(topology.shard_map),
+            "replicas_per_shard": self.replicas_per_shard,
             "partitioned": dict(self._config.partitioned),
             "co_partitioned": {
                 child: co.parent_table
@@ -732,4 +764,22 @@ class ShardedDatabase:
             "degraded_reads": self.degraded_count,
             "splits": self.splits,
             "shards": shards,
+        }
+
+    def repl_report(self) -> Optional[dict[str, Any]]:
+        """Per-shard replica topology when ``replicas_per_shard > 1`` —
+        the ``replication`` section of the instrument panel (duck-typed
+        by the web tier, like :meth:`shard_report`)."""
+        if self.replicas_per_shard <= 1:
+            return None
+        topology = self._topology
+        per_shard = {}
+        for spec in topology.shard_map:
+            reporter = getattr(topology.db(spec.shard_id), "repl_report", None)
+            if reporter is not None:
+                per_shard[spec.shard_id] = reporter()
+        return {
+            "replicas_per_shard": self.replicas_per_shard,
+            "max_lag": self.replica_max_lag,
+            "per_shard": per_shard,
         }

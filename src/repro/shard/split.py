@@ -103,6 +103,15 @@ def split_shard(sharded: ShardedDatabase, shard_id: int, at: float) -> tuple[int
         high_spec = ShardSpec(high_id, at, spec.high)
         low_db = sharded._new_shard_db(low_id)
         high_db = sharded._new_shard_db(high_id)
+        # The warm copy writes straight into the primary tables below,
+        # bypassing log shipping.  When the new shard dbs are replica
+        # groups, park their followers (out of the read rotation) for the
+        # duration and re-sync them via anti-entropy once the cutover has
+        # settled — otherwise they would silently diverge at lag zero.
+        for new_db in (low_db, high_db):
+            pause = getattr(new_db, "pause_followers", None)
+            if pause is not None:
+                pause()
         tables = _dependency_order(old_db)
         _create_schema(old_db, [low_db, high_db], tables)
 
@@ -177,6 +186,13 @@ def split_shard(sharded: ShardedDatabase, shard_id: int, at: float) -> tuple[int
         sharded.splits += 1
         sharded.breakers.pop(shard_id, None)
         sharded._persist_topology()
+        # Reads on the new shards are served by their primaries until the
+        # followers re-sync (anti-entropy clones the warm-copied rows
+        # through the journaled apply path, then shipping resumes).
+        for new_db in (low_db, high_db):
+            resync = getattr(new_db, "resync_followers", None)
+            if resync is not None:
+                resync()
         if sharded._path is not None:
             low_db.checkpoint()
             high_db.checkpoint()

@@ -347,6 +347,7 @@ class Servlets:
                 "faults": get_default_injector().report(),
             }
             body["shard"] = self._shard_report()
+            body["replication"] = self._repl_report()
             return HttpResponse(
                 body=json.dumps(body, indent=2).encode("utf-8"),
                 content_type="application/json",
@@ -388,6 +389,7 @@ class Servlets:
                 "faults": get_default_injector().report(),
             },
             "shard": self._shard_report(),
+            "replication": self._repl_report(),
         }
         if request.params.get("format") == "json":
             return HttpResponse(
@@ -441,6 +443,23 @@ class Servlets:
                     f" rows={entry['total_rows']} breaker={entry['breaker']}"
                     f" reads={entry['reads']} writes={entry['writes']}"
                 )
+                for copy in (entry.get("replicas") or {}).get("replicas", []):
+                    lines.append(self._replica_line(copy, indent="    "))
+        repl = body["replication"]
+        if repl is not None:
+            if "per_shard" in repl:
+                lines.append(
+                    f"replication: {repl['replicas_per_shard']} copies/shard,"
+                    f" max_lag={repl['max_lag']} (per-shard detail above)"
+                )
+            else:
+                lines.append(
+                    f"replication (head_lsn={repl['head_lsn']},"
+                    f" max_lag={repl['max_lag']}, failovers={repl['failovers']},"
+                    f" rejoins={repl['rejoins']}, repairs={repl['repairs']}):"
+                )
+                for copy in repl["replicas"]:
+                    lines.append(self._replica_line(copy, indent="  "))
         return HttpResponse(
             body=("\n".join(lines) + "\n").encode("utf-8"),
             content_type="text/plain",
@@ -451,3 +470,19 @@ class Servlets:
         (duck-typed — no repro.shard import at the web tier)."""
         reporter = getattr(self.dm.io.default_database, "shard_report", None)
         return reporter() if reporter is not None else None
+
+    def _repl_report(self) -> Optional[dict[str, Any]]:
+        """Replica-group topology when the DM sits on a ReplicaGroup or a
+        replicated ShardedDatabase (duck-typed, like shard_report)."""
+        reporter = getattr(self.dm.io.default_database, "repl_report", None)
+        return reporter() if reporter is not None else None
+
+    @staticmethod
+    def _replica_line(copy: dict[str, Any], indent: str) -> str:
+        repaired = (copy.get("last_repair") or {}).get("ranges_repaired")
+        repair_note = f" last_repair={repaired} range(s)" if repaired else ""
+        return (
+            f"{indent}replica {copy['name']}: {copy['state']}"
+            f" lag={copy['lag']} breaker={copy['breaker']}"
+            f" reads={copy['reads']}{repair_note}"
+        )
