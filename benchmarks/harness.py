@@ -641,6 +641,103 @@ def run_repl() -> None:
     print(f"  wrote {path.name}\n")
 
 
+def run_serving() -> None:
+    from repro.evalmodel import admission_ab, worker_scaling_series
+    from repro.web import (
+        browse_mix,
+        build_serving_stack,
+        mixed_class_mix,
+        run_closed_loop,
+        run_open_loop,
+    )
+
+    # (a) worker scaling: closed-loop §7 browse mix, 1 vs 8 pool workers
+    # over the same remote (wire-latency) database.
+    scaling = {}
+    for n_workers in (1, 8):
+        stack = build_serving_stack(scheduler="pool", n_workers=n_workers)
+        result = run_closed_loop(stack, browse_mix(stack),
+                                 n_clients=16, duration_s=1.5)
+        stack.shutdown()
+        scaling[str(n_workers)] = result.summary()
+    speedup = (scaling["8"]["throughput_rps"]
+               / max(scaling["1"]["throughput_rps"], 1e-9))
+
+    # (b) admission-control A/B: identical 2x-capacity open-loop overload,
+    # strict class priorities on vs off.
+    ab = {}
+    for label, admission in (("with_admission", True),
+                             ("without_admission", False)):
+        stack = build_serving_stack(scheduler="pool", n_workers=8,
+                                    admission_control=admission,
+                                    max_queue_depth=32)
+        capacity = run_closed_loop(stack, mixed_class_mix(stack),
+                                   n_clients=16, duration_s=1.0).throughput_rps
+        overload = run_open_loop(stack, mixed_class_mix(stack),
+                                 rate_rps=2.0 * capacity, duration_s=2.0)
+        stack.shutdown()
+        ab[label] = {"capacity_rps": capacity, **overload.summary()}
+
+    # (c) the batched page fetch: round trips per HLE page and the
+    # differential bytes check (batched and unbatched must render the
+    # exact same page).
+    stack = build_serving_stack(rtt_s=0.0)
+    io_stats = stack.dm.io.stats
+    request = stack.request(f"/hedc/hle?id={stack.hle_ids[0]}")
+    page = {}
+    bodies = {}
+    for mode, batched in (("batched", True), ("unbatched", False)):
+        stack.dm.batched_pages = batched
+        queries, trips = io_stats.queries, io_stats.round_trips
+        response = stack.web.handle(request)
+        assert response.status == 200, response.status
+        bodies[mode] = response.body
+        page[mode] = {"queries": io_stats.queries - queries,
+                      "round_trips": io_stats.round_trips - trips}
+    stack.shutdown()
+    identical = bodies["batched"] == bodies["unbatched"]
+
+    # The discrete-event model's prediction of the same two shapes.
+    model_scaling = worker_scaling_series(worker_counts=(1, 8),
+                                          duration_s=100.0)
+    model_ab = admission_ab(duration_s=100.0)
+    payload = {
+        "worker_scaling": {**scaling, "speedup_8_vs_1": speedup},
+        "admission_ab": ab,
+        "page_fetch": {**page, "bytes_identical": identical},
+        "model": {
+            "worker_scaling": {
+                str(r.n_workers): {"throughput_rps": r.throughput_rps}
+                for r in model_scaling
+            },
+            "admission_ab": {
+                key: {"analysis_goodput_rps": r.goodput_rps["analysis"],
+                      "analysis_wait_s": r.avg_wait_s["analysis"],
+                      "shed": r.shed}
+                for key, r in model_ab.items()
+            },
+        },
+    }
+    path = _write_bench("BENCH_serving.json", payload)
+    with_ac = ab["with_admission"]["classes"]["analysis"]
+    without_ac = ab["without_admission"]["classes"]["analysis"]
+    print("Concurrent serving tier (REAL WebServer instances)")
+    print(f"  browse throughput      : 1 worker "
+          f"{scaling['1']['throughput_rps']:7.1f} req/s, 8 workers "
+          f"{scaling['8']['throughput_rps']:7.1f} req/s "
+          f"({speedup:.1f}x, target >= 3x)")
+    print(f"  2x overload, analysis  : goodput "
+          f"{with_ac['goodput_rps']:6.1f} vs {without_ac['goodput_rps']:6.1f}"
+          f" req/s, p99 {with_ac['p99_s'] * 1e3:6.1f} vs "
+          f"{without_ac['p99_s'] * 1e3:6.1f} ms (with vs without admission)")
+    print(f"  HLE page fetch         : "
+          f"{page['unbatched']['round_trips']} -> "
+          f"{page['batched']['round_trips']} round trips "
+          f"({page['batched']['queries']} logical queries), "
+          f"bytes identical: {identical}")
+    print(f"  wrote {path.name}\n")
+
+
 EXPERIMENTS = {
     "fig4": run_fig4,
     "fig5": run_fig5,
@@ -657,6 +754,7 @@ EXPERIMENTS = {
     "backprojection": run_backprojection,
     "shard": run_shard,
     "repl": run_repl,
+    "serving": run_serving,
 }
 
 

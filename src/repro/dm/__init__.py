@@ -1,7 +1,7 @@
 """The Data Management (DM) component: I/O, semantic and process layers,
 sessions, name mapping and call redirection (paper §4-§5)."""
 
-from .dm import DataManager
+from .dm import DataManager, HlePage
 from .io_layer import IoLayer, IoStats
 from .maintenance import MaintenanceService, PurgeReport, PurgeRule
 from .naming import NameMapper, NameMappingError, ResolvedName
@@ -15,6 +15,7 @@ __all__ = [
     "DataManager",
     "DmRouter",
     "EntityNotFound",
+    "HlePage",
     "IoLayer",
     "IoStats",
     "LoadReport",

@@ -9,22 +9,39 @@ configuration the scalability experiment of §7.3 measures.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from ..cache import cache_report
 from ..filestore import DiskArchive, StorageManager
-from ..metadb import Database
+from ..metadb import Aggregate, Between, Comparison, Database, In, Select
 from ..obs import Observability, resolve as resolve_obs
 from ..resil import breaker_report, get_default_injector
 from ..schema import install_all
-from ..security import User, UserManager
+from ..security import User, UserManager, scoped_where
 from .io_layer import IoLayer
+from .naming import ResolvedName
 from .maintenance import MaintenanceService
 from .process import ProcessLayer
 from .reports import PredefinedQueries, Reports
 from .semantic import SemanticLayer
 from .sessions import SessionCache
+
+
+@dataclass
+class HlePage:
+    """Everything the §7.2 HLE detail page renders, fetched as one unit."""
+
+    hle: dict[str, Any]
+    analyses: list[dict[str, Any]]
+    n_analyses: int
+    n_catalogs: int
+    similar: list[dict[str, Any]]
+    neighbours: list[dict[str, Any]]
+    files: list[ResolvedName] = field(default_factory=list)
+    #: Whether the grouped-round-trip path produced this page.
+    batched: bool = True
 
 
 class DataManager:
@@ -37,6 +54,7 @@ class DataManager:
         node_name: str = "dm0",
         install_schema: bool = True,
         pool_open_cost_s: float = 0.0,
+        batched_pages: bool = True,
         obs: Optional[Observability] = None,
     ):
         self.node_name = node_name
@@ -53,6 +71,10 @@ class DataManager:
         self.queries = PredefinedQueries(self.io)
         self.reports = Reports(self.io)
         self.maintenance = MaintenanceService(self.io, self.semantic)
+        #: When True, :meth:`fetch_page` groups the page's seven logical
+        #: queries into three DM↔DBMS round trips; False replays the
+        #: historical one-query-per-trip sequence.
+        self.batched_pages = batched_pages
 
     # -- construction helpers ------------------------------------------------
 
@@ -88,6 +110,81 @@ class DataManager:
     def open_session(self, user: User, kind: str, client_ip: str = "127.0.0.1",
                      cookie: Optional[str] = None):
         return self.sessions.get_or_create(user, kind, client_ip, cookie)
+
+    # -- page multi-get -------------------------------------------------------
+
+    def fetch_page(self, user: Optional[User], hle_id: int,
+                   batched: Optional[bool] = None) -> HlePage:
+        """Fetch the §7.2 HLE detail page's seven logical queries.
+
+        Batched (the default), the sequence collapses into three round
+        trips: the HLE tuple itself (PK probe — also the visibility
+        gate), then every point lookup keyed by ids already in hand
+        (analyses, both counts, file references), then the secondary
+        index sweeps plus one ``IN``-probe resolving every referenced
+        archive at once.  Unbatched replays the historical
+        one-query-per-trip order, so the two paths are differentially
+        testable — identical rows, identical page bytes.
+        """
+        if batched is None:
+            batched = self.batched_pages
+        io = self.io
+        # Round trip 1 — the HLE tuple.
+        hle = self.semantic.get_hle(user, hle_id)
+        rate = hle.get("peak_rate") or 0.0
+        analyses_q = Select(
+            "ana", where=scoped_where(user, Comparison("hle_id", "=", hle_id)),
+            order_by=[("ana_id", "asc")],
+        )
+        n_analyses_q = Select(
+            "ana", where=Comparison("hle_id", "=", hle_id),
+            aggregates=[Aggregate("count", "*", "n")],
+        )
+        n_catalogs_q = Select(
+            "catalog_members", where=Comparison("hle_id", "=", hle_id),
+            aggregates=[Aggregate("count", "*", "n")],
+        )
+        similar_q = Select(
+            "hle",
+            where=scoped_where(user, Between("peak_rate", rate * 0.5, rate * 1.5)),
+            order_by=[("peak_rate", "desc")], limit=40,
+        )
+        neighbours_q = Select(
+            "hle",
+            where=scoped_where(
+                user,
+                Between("start_time", hle["start_time"] - 3600,
+                        hle["start_time"] + 3600)),
+            order_by=[("start_time", "asc")], limit=40,
+        )
+        if not batched:
+            analyses = io.execute(analyses_q)
+            n_analyses = io.execute(n_analyses_q)[0]["n"]
+            n_catalogs = io.execute(n_catalogs_q)[0]["n"]
+            similar = io.execute(similar_q)
+            files = io.names.resolve_files(hle["item_id"])
+            neighbours = io.execute(neighbours_q)
+            return HlePage(hle, analyses, n_analyses, n_catalogs, similar,
+                           neighbours, files, batched=False)
+        # Round trip 2 — point lookups, batched.
+        files_q = Select("loc_files",
+                         where=Comparison("item_id", "=", hle["item_id"]))
+        analyses, n_ana_rows, n_cat_rows, file_rows = io.execute_batch(
+            [analyses_q, n_analyses_q, n_catalogs_q, files_q]
+        )
+        # Round trip 3 — index sweeps plus the archive IN-probe.
+        secondary = [similar_q, neighbours_q]
+        archive_ids = sorted({row["archive_id"] for row in file_rows})
+        if archive_ids:
+            secondary.append(
+                Select("loc_archives", where=In("archive_id", archive_ids))
+            )
+        results = io.execute_batch(secondary)
+        similar, neighbours = results[0], results[1]
+        archive_rows = results[2] if archive_ids else []
+        files = io.names.resolve_from_rows(hle["item_id"], file_rows, archive_rows)
+        return HlePage(hle, analyses, n_ana_rows[0]["n"], n_cat_rows[0]["n"],
+                       similar, neighbours, files, batched=True)
 
     # -- statistics --------------------------------------------------------------
 

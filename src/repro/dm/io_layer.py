@@ -51,11 +51,17 @@ class IoStats:
         self.files_written = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        # DM↔DBMS round trips: one per execute(), one per executed batch.
+        # ``queries`` keeps counting logical statements (the paper's
+        # "seven DM queries" stays seven); this measures what batching
+        # actually saves — trips over the wire.
+        self.round_trips = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
             "queries": self.queries,
             "edits": self.edits,
+            "round_trips": self.round_trips,
             "files_read": self.files_read,
             "files_written": self.files_written,
             "bytes_read": self.bytes_read,
@@ -140,6 +146,7 @@ class IoLayer:
         else:
             self.stats.edits += 1
             kind = "edit"
+        self.stats.round_trips += 1
         # Autocommit SELECTs are idempotent — safe to retry on transient
         # failures.  Anything in a transaction or mutating runs exactly once.
         if kind == "query" and tx is None:
@@ -155,6 +162,62 @@ class IoLayer:
         with obs.span("dm.query", table=statement.table, kind=kind):
             result = run()
         obs.observe("dm.query_s", time.perf_counter() - started, kind=kind)
+        return result
+
+    def execute_batch(self, statements: list[Select]) -> list[Any]:
+        """Run several autocommit SELECTs in grouped round trips.
+
+        The multi-get behind :meth:`~repro.dm.dm.DataManager.fetch_page`:
+        statements destined for the same database travel together through
+        its ``execute_batch`` entry point (one round trip, one retry
+        scope), falling back to per-statement execution for backends
+        without one (sharded/replicated stacks route per statement
+        anyway).  Results come back in statement order.  Reads only —
+        writes keep their exactly-once path through :meth:`execute`.
+        """
+        if not statements:
+            return []
+        for statement in statements:
+            if not isinstance(statement, Select):
+                raise TypeError(
+                    "execute_batch carries reads only; "
+                    f"got {type(statement).__name__}"
+                )
+        Deadline.check_current("dm.execute_batch")
+        prepared: list[Select] = []
+        for statement in statements:
+            if self.translate_through_sql and self._translatable(statement):
+                statement = parse_sql(to_sql(statement))
+            prepared.append(statement)
+        self.stats.queries += len(prepared)
+        self.stats.round_trips += 1
+        # Group consecutive statements sharing a database so routed
+        # (vertically partitioned) tables still batch with their kin.
+        runs: list[tuple[Database, list[Select]]] = []
+        for statement in prepared:
+            database = self.database_for(statement.table)
+            if runs and runs[-1][0] is database:
+                runs[-1][1].append(statement)
+            else:
+                runs.append((database, [statement]))
+
+        def run() -> list[Any]:
+            results: list[Any] = []
+            for database, group in runs:
+                batch = getattr(database, "execute_batch", None)
+                if batch is not None and len(group) > 1:
+                    results.extend(batch(group))
+                else:
+                    results.extend(database.execute(s) for s in group)
+            return results
+
+        obs = self.obs
+        if not obs.enabled:
+            return self.read_retry.call(run)
+        started = time.perf_counter()
+        with obs.span("dm.batch", statements=len(prepared)):
+            result = self.read_retry.call(run)
+        obs.observe("dm.batch_s", time.perf_counter() - started)
         return result
 
     @staticmethod

@@ -86,7 +86,10 @@ def tier_time_split(obs: Observability) -> dict[str, Any]:
     """
     registry = obs.registry
     web_s = _histogram_sum(registry, "web.request_s")
-    db_s = _histogram_sum(registry, "dm.query_s")
+    # DB time is per-statement round trips plus the grouped page-fetch
+    # round trips (PR-8 batching) — both are time spent at the database.
+    db_s = (_histogram_sum(registry, "dm.query_s")
+            + _histogram_sum(registry, "dm.batch_s"))
     pl_s = _histogram_sum(registry, "pl.request_s")
     idl_s = _histogram_sum(registry, "idl.invoke_s")
     app_s = max(0.0, web_s - db_s - pl_s)
@@ -124,8 +127,11 @@ def page_characteristics(obs: Observability, dm=None) -> dict[str, Any]:
     if dm is not None:
         queries = dm.io.stats.queries
         characteristics["dm_queries"] = queries
+        round_trips = getattr(dm.io.stats, "round_trips", 0)
+        characteristics["dm_round_trips"] = round_trips
         if hle_pages:
             characteristics["dm_queries_per_page"] = queries / hle_pages
+            characteristics["dm_round_trips_per_page"] = round_trips / hle_pages
     return characteristics
 
 
@@ -144,6 +150,7 @@ def calibration_drift(
     from ..evalmodel.calibration import (
         DB_QUERIES_PER_SECOND,
         HTML_RESPONSE_KB,
+        PAGE_ROUND_TRIPS_BATCHED,
         QUERIES_PER_REQUEST,
     )
 
@@ -162,8 +169,18 @@ def calibration_drift(
         })
 
     pages = page_characteristics(obs, dm=dm)
+    # Logical queries per page is batching-invariant: the seven §7.2
+    # statements ride in fewer round trips, but they are still issued
+    # (and counted), so batched deployments don't falsely trip this.
     compare("dm_queries_per_page", float(QUERIES_PER_REQUEST),
             pages.get("dm_queries_per_page"))
+    # Round trips per page is the batching contract itself: 3 with the
+    # grouped fetch, the historical one-per-query otherwise.
+    predicted_trips = (PAGE_ROUND_TRIPS_BATCHED
+                       if getattr(dm, "batched_pages", False)
+                       else QUERIES_PER_REQUEST)
+    compare("dm_round_trips_per_page", float(predicted_trips),
+            pages.get("dm_round_trips_per_page"))
     compare("html_bytes_per_request", HTML_RESPONSE_KB * 1024.0,
             pages["bytes_per_request"] or None)
     registry = obs.registry

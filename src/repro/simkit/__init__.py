@@ -7,7 +7,12 @@ Used by :mod:`repro.evalmodel` to reproduce the paper's testbed experiments
 from .events import EventHandle, SimulationError, Simulator
 from .process import AllOf, Future, Interrupted, Process, spawn
 from .random_streams import RandomStream, StreamFactory
-from .resources import FcfsServer, ProcessorSharing, scatter_gather
+from .resources import (
+    FcfsServer,
+    PriorityFcfsServer,
+    ProcessorSharing,
+    scatter_gather,
+)
 from .stats import Tally, TimeWeighted
 
 __all__ = [
@@ -16,6 +21,7 @@ __all__ = [
     "FcfsServer",
     "Future",
     "Interrupted",
+    "PriorityFcfsServer",
     "Process",
     "ProcessorSharing",
     "RandomStream",

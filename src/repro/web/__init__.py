@@ -2,22 +2,58 @@
 (paper §6.1)."""
 
 from .http import HttpRequest, HttpResponse, Router
+from .loadgen import (
+    LoadResult,
+    RemoteDatabase,
+    ServingStack,
+    browse_mix,
+    build_serving_stack,
+    mixed_class_mix,
+    run_closed_loop,
+    run_open_loop,
+)
 from .pages import build_registry
+from .scheduler import (
+    CLASS_ANALYSIS,
+    CLASS_BROWSE,
+    CLASS_BULK,
+    AdmissionController,
+    ScheduledRequest,
+    SynchronousExecutor,
+    WorkerPoolExecutor,
+    classify_route,
+)
 from .server import BrowseResult, ThinClient, WebServer
 from .servlets import SESSION_COOKIE, Servlets
 from .templates import Template, TemplateError, TemplateRegistry
 
 __all__ = [
+    "AdmissionController",
     "BrowseResult",
+    "CLASS_ANALYSIS",
+    "CLASS_BROWSE",
+    "CLASS_BULK",
     "HttpRequest",
     "HttpResponse",
+    "LoadResult",
+    "RemoteDatabase",
     "Router",
     "SESSION_COOKIE",
+    "ScheduledRequest",
     "Servlets",
+    "ServingStack",
+    "SynchronousExecutor",
     "Template",
     "TemplateError",
     "TemplateRegistry",
     "ThinClient",
     "WebServer",
+    "WorkerPoolExecutor",
+    "browse_mix",
+    "build_serving_stack",
+    "classify_route",
     "build_registry",
+    "mixed_class_mix",
+    "run_closed_loop",
+    "run_open_loop",
 ]

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..analysis import render_pgm
 from ..cache import cache_report
-from ..metadb import Aggregate, And, Between, Comparison, Select
+from ..metadb import And, Comparison, Select
 from ..obs import (
     Histogram,
     resolve as resolve_obs,
@@ -47,6 +47,9 @@ class Servlets:
         self.obs = obs if obs is not None else resolve_obs(getattr(dm, "obs", None))
         self.registry = build_registry()
         self._static = {"logo.pgm": _logo(), "nav.pgm": _logo()}
+        #: Set by the owning WebServer: a callable returning its
+        #: scheduler/admission state for the telemetry panels.
+        self.serving_report: Optional[Any] = None
 
     # -- session helpers -----------------------------------------------------
 
@@ -130,53 +133,25 @@ class Servlets:
             hle_id = int(request.params.get("id", ""))
         except ValueError:
             return HttpResponse.error(400, "missing hle id")
-        io = self.dm.io
-        # Query 1: the HLE tuple (PK probe).
-        hle = self.dm.semantic.get_hle(user, hle_id)
-        # Query 2: its analyses (secondary index probe).
-        analyses = self.dm.semantic.analyses_for_hle(user, hle_id)
-        # Query 3 (count): total committed analyses.
-        n_analyses = io.execute(
-            Select("ana", where=Comparison("hle_id", "=", hle_id),
-                   aggregates=[Aggregate("count", "*", "n")])
-        )[0]["n"]
-        # Query 4 (count): catalog memberships.
-        n_catalogs = io.execute(
-            Select("catalog_members", where=Comparison("hle_id", "=", hle_id),
-                   aggregates=[Aggregate("count", "*", "n")])
-        )[0]["n"]
-        # Query 5 (index sweep): similar events by peak rate.
-        rate = hle.get("peak_rate") or 0.0
-        similar = io.execute(
-            Select("hle",
-                   where=scoped_where(user, Between("peak_rate", rate * 0.5, rate * 1.5)),
-                   order_by=[("peak_rate", "desc")], limit=40)
-        )
-        # Query 6: file references via name mapping (indexed).
-        names = io.names.resolve_files(hle["item_id"])
-        # Query 7 (index sweep): neighbouring events in time.
-        io.execute(
-            Select("hle",
-                   where=scoped_where(
-                       user,
-                       Between("start_time", hle["start_time"] - 3600,
-                               hle["start_time"] + 3600)),
-                   order_by=[("start_time", "asc")], limit=40)
-        )
+        # The seven logical queries of §7.2, fetched through the DM's
+        # page multi-get — three round trips batched, seven unbatched.
+        page = self.dm.fetch_page(user, hle_id)
+        hle = page.hle
         context = self._base_context(request, hle["title"] or f"HLE {hle_id}")
         context.update(
             {
                 "hle": hle,
-                "n_analyses": n_analyses,
-                "n_catalogs": n_catalogs,
-                "n_similar": len(similar),
+                "n_analyses": page.n_analyses,
+                "n_catalogs": page.n_catalogs,
+                "n_similar": len(page.similar),
                 "data_files": [
-                    {"item_id": hle["item_id"], "path": name.path} for name in names
+                    {"item_id": hle["item_id"], "path": name.path}
+                    for name in page.files
                 ],
             }
         )
         parts = [self.registry.render("hle_header", context)]
-        for ana in analyses:
+        for ana in page.analyses:
             ana_context = dict(context)
             ana_context["ana"] = ana
             ana_context["ana_images"] = [
@@ -348,6 +323,7 @@ class Servlets:
             }
             body["shard"] = self._shard_report()
             body["replication"] = self._repl_report()
+            body["serving"] = self._serving_report()
             return HttpResponse(
                 body=json.dumps(body, indent=2).encode("utf-8"),
                 content_type="application/json",
@@ -390,6 +366,7 @@ class Servlets:
             },
             "shard": self._shard_report(),
             "replication": self._repl_report(),
+            "serving": self._serving_report(),
         }
         if request.params.get("format") == "json":
             return HttpResponse(
@@ -445,6 +422,32 @@ class Servlets:
                 )
                 for copy in (entry.get("replicas") or {}).get("replicas", []):
                     lines.append(self._replica_line(copy, indent="    "))
+        serving = body["serving"]
+        if serving is not None:
+            lines.append(
+                f"serving: scheduler={serving['scheduler']}"
+                f" workers={serving['n_workers']}"
+            )
+            queue = serving.get("queue")
+            if queue:
+                depth = sum(queue["depth"].values())
+                shed = sum(queue["shed"].values())
+                expired = sum(queue["expired"].values())
+                lines.append(
+                    f"  admission: depth={depth}/{queue['max_queue_depth']}"
+                    f" shed={shed} expired={expired}"
+                    f" retry_after={queue['retry_after_s']:.1f}s"
+                )
+                for cls, n in queue["admitted"].items():
+                    lines.append(
+                        f"    {cls:<9} admitted={n}"
+                        f" shed={queue['shed'][cls]}"
+                        f" wait_p95={queue['wait_p95_s'][cls] * 1000:.1f}ms"
+                    )
+            for route, caps in serving["routes"].items():
+                lines.append(
+                    f"  route {route}: {caps['in_use']}/{caps['limit']} in use"
+                )
         repl = body["replication"]
         if repl is not None:
             if "per_shard" in repl:
@@ -476,6 +479,11 @@ class Servlets:
         replicated ShardedDatabase (duck-typed, like shard_report)."""
         reporter = getattr(self.dm.io.default_database, "repl_report", None)
         return reporter() if reporter is not None else None
+
+    def _serving_report(self) -> Optional[dict[str, Any]]:
+        """Scheduler/admission state from the owning WebServer, when the
+        servlets are mounted behind one (None under direct unit tests)."""
+        return self.serving_report() if self.serving_report is not None else None
 
     @staticmethod
     def _replica_line(copy: dict[str, Any], indent: str) -> str:
