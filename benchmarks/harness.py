@@ -270,11 +270,12 @@ def _write_bench(name: str, payload: dict) -> Path:
 
 
 def run_query() -> None:
+    import os
     import time
 
     from repro.metadb import (
-        Column, ColumnType, Comparison, Database, In, Insert, Select,
-        TableSchema,
+        Aggregate, And, Column, ColumnType, Comparison, Database, In, Insert,
+        Select, TableSchema,
     )
 
     database = Database()
@@ -321,6 +322,86 @@ def run_query() -> None:
     probe = Select("events", where=In("event_id", [12, 4321, 9876]))
     probe_s = best(database.execute, probe, 200)
     plan = database.explain_plan(select)
+
+    # -- columnar vs row-at-a-time on full-scan analytics ----------------
+    def columnar_experiment(n_rows: int, vec_calls: int, row_calls: int) -> dict:
+        db = Database(name=f"colbench{n_rows}")
+        kinds = ["flare", "quiet", "storm", "saa", "burst", "cal", "idle"]
+        db.create_table(TableSchema(
+            "ev",
+            [Column("ev_id", ColumnType.INTEGER, nullable=False),
+             Column("kind", ColumnType.TEXT, nullable=False),
+             Column("rate", ColumnType.REAL, nullable=False),
+             Column("counts", ColumnType.INTEGER, nullable=False)],
+            primary_key="ev_id",
+            columnar=True,
+        ))
+        for index in range(n_rows):
+            db.execute(Insert("ev", {
+                "ev_id": index,
+                "kind": kinds[(index * 131) % len(kinds)],
+                "rate": float((index * 37) % 1000),
+                "counts": (index * 7919) % 10_000,
+            }))
+
+        def row_path(fn, arg, calls):
+            previous = os.environ.get("HEDC_COLUMNAR")
+            os.environ["HEDC_COLUMNAR"] = "0"
+            try:
+                return fn(arg) if calls is None else best(fn, arg, calls, 3)
+            finally:
+                if previous is None:
+                    os.environ.pop("HEDC_COLUMNAR", None)
+                else:
+                    os.environ["HEDC_COLUMNAR"] = previous
+
+        queries = {
+            "full_scan_filter": Select("ev", where=And([
+                Comparison("kind", "=", "flare"),
+                Comparison("rate", ">=", 500.0),
+            ])),
+            "full_scan_aggregate": Select(
+                "ev", where=Comparison("rate", ">=", 250.0),
+                aggregates=[Aggregate("count", "*", "c"),
+                            Aggregate("sum", "counts", "s"),
+                            Aggregate("avg", "rate", "a")],
+            ),
+            "group_by": Select(
+                "ev", group_by=["kind"],
+                aggregates=[Aggregate("count", "*", "c"),
+                            Aggregate("max", "rate", "m")],
+            ),
+            # ev_id follows insertion order, so zone maps prune the
+            # leading segments outright.
+            "zone_map_prune": Select(
+                "ev", where=Comparison("ev_id", ">=", n_rows - 2000),
+            ),
+        }
+        section: dict = {"table_rows": n_rows}
+        for label, query in queries.items():
+            vec_plan = db.explain_plan(query)
+            assert vec_plan["access"] == "columnar_scan", (label, vec_plan)
+            assert db.execute(query) == row_path(db.execute, query, None)
+            vectorized_s = best(db.execute, query, vec_calls, 3)
+            row_s = row_path(db.execute, query, row_calls)
+            section[label] = {
+                "vectorized_us_per_query": vectorized_s * 1e6,
+                "row_us_per_query": row_s * 1e6,
+                "speedup": row_s / vectorized_s,
+                "segments_total": vec_plan["segments_total"],
+                "segments_pruned": vec_plan["segments_pruned"],
+            }
+        prune = section["zone_map_prune"]
+        prune["prune_hit_rate"] = (
+            prune["segments_pruned"] / prune["segments_total"]
+            if prune["segments_total"] else 0.0
+        )
+        return section
+
+    columnar = {
+        "10000": columnar_experiment(10_000, vec_calls=50, row_calls=10),
+        "100000": columnar_experiment(100_000, vec_calls=20, row_calls=3),
+    }
     payload = {
         "table_rows": n_rows,
         "order_limit_query": {
@@ -334,6 +415,7 @@ def run_query() -> None:
             "plan": database.explain_plan(probe),
             "us_per_query": probe_s * 1e6,
         },
+        "columnar": columnar,
     }
     path = _write_bench("BENCH_query_engine.json", payload)
     print("Query engine (10k-row indexed table, ORDER BY + LIMIT 10)")
@@ -342,6 +424,20 @@ def run_query() -> None:
     print(f"  speedup                  : {naive_s / streamed_s:10.1f}x   "
           f"(target: >= 3x)")
     print(f"  IN-list probe (3 keys)   : {probe_s * 1e6:10.1f} us/query")
+    print("Columnar vs row path (full-scan analytics)")
+    for n_rows, section in columnar.items():
+        for label in ("full_scan_filter", "full_scan_aggregate",
+                      "group_by", "zone_map_prune"):
+            entry = section[label]
+            extra = ""
+            if label == "zone_map_prune":
+                extra = (f", prune {entry['segments_pruned']}"
+                         f"/{entry['segments_total']} segments")
+            print(f"  {int(n_rows):>7,} rows {label:20}: "
+                  f"row {entry['row_us_per_query']:10.1f} us -> "
+                  f"vec {entry['vectorized_us_per_query']:8.1f} us "
+                  f"({entry['speedup']:5.1f}x{extra})")
+    print("  target: >= 10x on at least one 100k full-scan query")
     print(f"  wrote {path.name}\n")
 
 

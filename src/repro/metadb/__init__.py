@@ -5,6 +5,7 @@ Plays the role Oracle 8.1.7 plays in the paper: it stores the metadata
 interface, and sits behind the DM's database adapter.
 """
 
+from .columnar import SEGMENT_ROWS, ColumnarStore
 from .database import Database, DatabaseStats
 from .errors import (
     ClosedError,
@@ -43,6 +44,8 @@ __all__ = [
     "ClosedError",
     "Column",
     "ColumnType",
+    "ColumnarStore",
+    "SEGMENT_ROWS",
     "Comparison",
     "Connection",
     "ConnectionPool",

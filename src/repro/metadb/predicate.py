@@ -5,11 +5,17 @@ planner to recognise *sargable* shapes (equality and range constraints on
 indexed columns).  SQL three-valued logic is approximated: any comparison
 with NULL is false, IS NULL / IS NOT NULL are explicit nodes.
 
-Two evaluation paths exist: :meth:`Predicate.matches` walks the tree per
-row (virtual dispatch per node), while :meth:`Predicate.compile` returns a
+Three evaluation paths exist: :meth:`Predicate.matches` walks the tree per
+row (virtual dispatch per node), :meth:`Predicate.compile` returns a
 fused closure the executor calls once per candidate row — And/Or collapse
 their operands into a single function, so the hot filter loop pays no
-isinstance checks or method lookups.
+isinstance checks or method lookups — and :meth:`Predicate.compile_vector`
+returns a closure evaluating the whole tree over a *column segment* at
+once: leaves ask the segment view for a boolean mask (numpy ufuncs,
+dictionary-code probes), And/Or/Not combine masks with ``&``/``|``/``~``.
+The vector path reproduces the row path's NULL semantics exactly: a NULL
+never satisfies a comparison, so ``Not`` over a comparison is true on
+NULL rows in both paths.
 """
 
 from __future__ import annotations
@@ -20,6 +26,11 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 
 RowMatcher = Callable[[dict], bool]
 
+#: A vector matcher takes a segment view (duck-typed: the contract is the
+#: mask-producing methods of :class:`repro.metadb.columnar.SegmentView`)
+#: and returns a boolean mask over the segment's rows.
+VectorMatcher = Callable[[Any], Any]
+
 
 class Predicate:
     """Base class; subclasses implement :meth:`matches` and :meth:`compile`."""
@@ -29,6 +40,11 @@ class Predicate:
 
     def compile(self) -> RowMatcher:
         """Return a ``row -> bool`` closure equivalent to :meth:`matches`."""
+        raise NotImplementedError
+
+    def compile_vector(self) -> VectorMatcher:
+        """Return a ``segment_view -> bool_mask`` closure equivalent to
+        calling :meth:`matches` on every row of the segment."""
         raise NotImplementedError
 
     def __and__(self, other: "Predicate") -> "And":
@@ -102,6 +118,10 @@ class Comparison(Predicate):
                 return False
         return match
 
+    def compile_vector(self) -> VectorMatcher:
+        column, op, value = self.column, self.op, self.value
+        return lambda view: view.compare(column, op, value)
+
     def columns(self) -> set[str]:
         return {self.column}
 
@@ -136,6 +156,12 @@ class Between(Predicate):
                 return False
         return match
 
+    def compile_vector(self) -> VectorMatcher:
+        column, low, high = self.column, self.low, self.high
+        return lambda view: view.compare(column, ">=", low) & view.compare(
+            column, "<=", high
+        )
+
     def columns(self) -> set[str]:
         return {self.column}
 
@@ -158,6 +184,10 @@ class In(Predicate):
             actual = row.get(column)
             return actual is not None and actual in values
         return match
+
+    def compile_vector(self) -> VectorMatcher:
+        column, values = self.column, self.values
+        return lambda view: view.isin(column, values)
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -196,6 +226,10 @@ class Like(Predicate):
             return isinstance(actual, str) and fullmatch(actual) is not None
         return match
 
+    def compile_vector(self) -> VectorMatcher:
+        column, regex = self.column, self._regex
+        return lambda view: view.like(column, regex)
+
     def columns(self) -> set[str]:
         return {self.column}
 
@@ -214,6 +248,10 @@ class IsNull(Predicate):
         if self.negated:
             return lambda row: row.get(column) is not None
         return lambda row: row.get(column) is None
+
+    def compile_vector(self) -> VectorMatcher:
+        column, negated = self.column, self.negated
+        return lambda view: view.is_null(column, negated)
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -241,6 +279,20 @@ class And(Predicate):
                 if not part(row):
                     return False
             return True
+        return match
+
+    def compile_vector(self) -> VectorMatcher:
+        parts = tuple(operand.compile_vector() for operand in self.operands)
+        if not parts:
+            return lambda view: view.ones()
+        if len(parts) == 1:
+            return parts[0]
+
+        def match(view: Any) -> Any:
+            mask = parts[0](view)
+            for part in parts[1:]:
+                mask = mask & part(view)
+            return mask
         return match
 
     def columns(self) -> set[str]:
@@ -274,6 +326,20 @@ class Or(Predicate):
             return False
         return match
 
+    def compile_vector(self) -> VectorMatcher:
+        parts = tuple(operand.compile_vector() for operand in self.operands)
+        if not parts:
+            return lambda view: view.zeros()
+        if len(parts) == 1:
+            return parts[0]
+
+        def match(view: Any) -> Any:
+            mask = parts[0](view)
+            for part in parts[1:]:
+                mask = mask | part(view)
+            return mask
+        return match
+
     def columns(self) -> set[str]:
         result: set[str] = set()
         for operand in self.operands:
@@ -292,6 +358,10 @@ class Not(Predicate):
         inner = self.operand.compile()
         return lambda row: not inner(row)
 
+    def compile_vector(self) -> VectorMatcher:
+        inner = self.operand.compile_vector()
+        return lambda view: ~inner(view)
+
     def columns(self) -> set[str]:
         return self.operand.columns()
 
@@ -304,6 +374,9 @@ class TruePredicate(Predicate):
 
     def compile(self) -> RowMatcher:
         return lambda row: True
+
+    def compile_vector(self) -> VectorMatcher:
+        return lambda view: view.ones()
 
     def columns(self) -> set[str]:
         return set()

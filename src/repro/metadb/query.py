@@ -116,6 +116,7 @@ class Plan:
     """Chosen access path plus executor strategy; also the EXPLAIN output."""
 
     #: "pk_probe" | "hash_probe" | "in_probe" | "range_scan" | "full_scan"
+    #: | "columnar_scan"
     access: str
     index_column: Optional[str] = None
     ordered: bool = False   # True when the scan already satisfies ORDER BY
@@ -124,10 +125,15 @@ class Plan:
     table_rows: int = 0                 # statistics snapshot the estimate used
     limit_pushdown: bool = False        # executor stops the scan at OFFSET+LIMIT
     topn: bool = False                  # bounded heap instead of full sort
+    segments: int = 0                   # columnar only: total segments
+    segments_pruned: int = 0            # columnar only: skipped via zone maps
 
     def describe(self) -> str:
         if self.access == "full_scan":
             return "FULL SCAN"
+        if self.access == "columnar_scan":
+            scanned = self.segments - self.segments_pruned
+            return f"COLUMNAR SCAN ({scanned}/{self.segments} segments)"
         return f"{self.access.upper()} on {self.index_column}"
 
     def to_dict(self) -> dict[str, Any]:
@@ -141,6 +147,8 @@ class Plan:
             "table_rows": self.table_rows,
             "limit_pushdown": self.limit_pushdown,
             "topn": self.topn,
+            "segments_total": self.segments,
+            "segments_pruned": self.segments_pruned,
             "description": self.describe(),
         }
 
@@ -201,6 +209,10 @@ def plan_select(table: Table, select: Select) -> Plan:
                                            estimated_rows=estimate, table_rows=n_rows))
                     )
 
+    best_estimate = min((item[0] for item in candidates), default=None)
+    columnar = _columnar_plan(table, select, n_rows, best_estimate)
+    if columnar is not None:
+        return _finalize(columnar, select)
     if candidates:
         _estimate, _rank, plan = min(candidates, key=lambda item: (item[0], item[1]))
         return _finalize(plan, select)
@@ -212,6 +224,47 @@ def plan_select(table: Table, select: Select) -> Plan:
                         estimated_rows=n_rows, table_rows=n_rows)
             return _finalize(plan, select)
     return _finalize(Plan("full_scan", estimated_rows=n_rows, table_rows=n_rows), select)
+
+
+#: Below this row count a columnar rebuild + mask evaluation cannot beat
+#: the row path, so small tables always keep row-at-a-time plans.
+COLUMNAR_MIN_ROWS = 256
+
+
+def _columnar_plan(
+    table: Table, select: Select, n_rows: int, best_estimate: Optional[int]
+) -> Optional[Plan]:
+    """The vectorized access path, when a scan dominates.
+
+    Chosen for columnar-eligible tables when the query has no join, the
+    table is big enough to amortise vectorization, and every index
+    candidate is unselective (best estimate within 4x of a full scan) or
+    absent.  Without any candidate, a *bounded* ordered fallback (ORDER
+    BY column with an ordered index plus LIMIT) still wins — it streams
+    in order and stops early, which no mask evaluation can match.
+    """
+    # Cheap integer disqualifiers first: the eligibility check reads the
+    # environment kill-switch, which must stay off the OLTP probe path.
+    if n_rows < COLUMNAR_MIN_ROWS or select.join is not None:
+        return None
+    if best_estimate is not None and best_estimate * 4 < n_rows:
+        return None
+    if not table.columnar_eligible:
+        return None
+    if best_estimate is None and select.limit is not None and len(select.order_by) == 1:
+        if table.ordered_index_on(select.order_by[0][0]) is not None:
+            return None
+    store = table.columnar_store()
+    pruned, total = store.prune_counts(select.where)
+    surviving = total - pruned
+    estimate = n_rows if total == 0 else round(n_rows * surviving / total)
+    return Plan(
+        "columnar_scan",
+        estimated_rows=estimate,
+        table_rows=n_rows,
+        segments=total,
+        segments_pruned=pruned,
+    )
 
 
 def _finalize(plan: Plan, select: Select) -> Plan:
@@ -227,6 +280,7 @@ def _finalize(plan: Plan, select: Select) -> Plan:
         plan.access, plan.index_column, ordered=plan.ordered, keys=plan.keys,
         estimated_rows=plan.estimated_rows, table_rows=plan.table_rows,
         limit_pushdown=limit_pushdown, topn=topn,
+        segments=plan.segments, segments_pruned=plan.segments_pruned,
     )
 
 
@@ -367,12 +421,22 @@ def execute_select(
     if plan is None:
         plan = plan_select(table, select)
     where = select.where
-    candidates = _candidate_rows(table, select, plan)
-    if where is None or isinstance(where, TruePredicate):
-        matched_stream: Iterator[dict[str, Any]] = candidates
+    if plan.access == "columnar_scan":
+        store = table.columnar_store()
+        positions = store.scan_positions(where)
+        if select.aggregates and select.join is None:
+            vectorized = store.vector_aggregates(select, positions)
+            if vectorized is not None:
+                return vectorized
+        # The mask already applied WHERE; gather survivors in scan order.
+        matched_stream: Iterator[dict[str, Any]] = store.gathered_rows(positions)
     else:
-        matcher = where.compile()
-        matched_stream = (row for row in candidates if matcher(row))
+        candidates = _candidate_rows(table, select, plan)
+        if where is None or isinstance(where, TruePredicate):
+            matched_stream = candidates
+        else:
+            matcher = where.compile()
+            matched_stream = (row for row in candidates if matcher(row))
 
     if select.join is not None:
         matched = _execute_join(tables, select, list(matched_stream))

@@ -63,6 +63,7 @@ class TableSchema:
         unique: Iterable[Sequence[str]] = (),
         foreign_keys: Iterable[ForeignKey] = (),
         indexes: Iterable[Sequence[str]] = (),
+        columnar: bool = False,
     ):
         if not name or not name.replace("_", "").isalnum():
             raise SchemaError(f"invalid table name {name!r}")
@@ -95,6 +96,11 @@ class TableSchema:
             for col in index_cols:
                 if col not in self.columns:
                     raise SchemaError(f"index references unknown column {col!r}")
+        # Opt-in columnar storage: the table additionally maintains a
+        # lazily rebuilt column-oriented copy the vectorized executor
+        # scans (see repro.metadb.columnar).  Purely an access-path hint;
+        # the row store stays the source of truth.
+        self.columnar = bool(columnar)
 
     def has_column(self, name: str) -> bool:
         return name in self.columns
@@ -163,6 +169,7 @@ class TableSchema:
                 for fk in self.foreign_keys
             ],
             "indexes": [list(i) for i in self.indexes],
+            "columnar": self.columnar,
         }
 
     @classmethod
@@ -194,4 +201,5 @@ class TableSchema:
             unique=data.get("unique", ()),
             foreign_keys=foreign_keys,
             indexes=data.get("indexes", ()),
+            columnar=data.get("columnar", False),
         )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
+from . import columnar as _columnar
 from .errors import IntegrityError, SchemaError
 from .index import HashIndex, OrderedIndex
 from .schema import TableSchema
@@ -46,6 +47,13 @@ class Table:
         self.schema = schema
         self._rows: dict[int, dict[str, Any]] = {}
         self._next_rowid = 1
+        # Mutation epoch: bumped by every insert/update/delete/restore.
+        # The lazily built columnar copy and the cached planner statistics
+        # both key their freshness off it.
+        self._mutations = 0
+        self._columnar_store: Optional[_columnar.ColumnarStore] = None
+        self._stats_cache: Optional[TableStats] = None
+        self._stats_mutations = 0
         self._hash_indexes: list[HashIndex] = []
         self._ordered_indexes: dict[str, OrderedIndex] = {}
         self._pk_index: Optional[HashIndex] = None
@@ -94,8 +102,51 @@ class Table:
     def has_index_on(self, column: str) -> bool:
         return self.hash_index_on(column) is not None or column in self._ordered_indexes
 
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotonic count of mutations; freshness token for derived state."""
+        return self._mutations
+
+    @property
+    def columnar_eligible(self) -> bool:
+        """True when this table maintains a columnar copy the vectorized
+        executor may scan (declared in the schema, numpy importable, and
+        not disabled via ``HEDC_COLUMNAR=0``)."""
+        return (
+            self.schema.columnar
+            and _columnar.available()
+            and _columnar.enabled()
+        )
+
+    def columnar_store(self) -> "_columnar.ColumnarStore":
+        """The table's columnar copy, created on first use (freshness is
+        the store's own concern — see :meth:`ColumnarStore.ensure_fresh`)."""
+        if self._columnar_store is None:
+            self._columnar_store = _columnar.ColumnarStore(self)
+        return self._columnar_store
+
     def stats(self) -> TableStats:
-        """Current planner statistics; O(#indexes), computed from live indexes."""
+        """Planner statistics, cached against the mutation epoch.
+
+        The cache is reused while fewer than ``max(1, rows/20)`` mutations
+        landed since it was computed (rows as of compute time), so small
+        tables stay effectively live while hot tables avoid recomputing
+        per query.  The mutation-count threshold — rather than refreshing
+        on insert only — is what keeps estimates honest after a bulk
+        DELETE: mass deletes blow through the threshold immediately and
+        the next plan sees the shrunken cardinalities.
+        """
+        cache = self._stats_cache
+        if cache is not None:
+            if self._mutations - self._stats_mutations < max(1, cache.row_count // 20):
+                return cache
+        stats = self._compute_stats()
+        self._stats_cache = stats
+        self._stats_mutations = self._mutations
+        return stats
+
+    def _compute_stats(self) -> TableStats:
+        """O(#indexes) statistics snapshot from the live indexes."""
         rows = len(self._rows)
         rows_per_key: dict[str, float] = {}
         for index in self._hash_indexes:
@@ -137,6 +188,7 @@ class Table:
             raise
         self._rows[rowid] = row
         self._next_rowid += 1
+        self._mutations += 1
         return rowid
 
     def update(self, rowid: int, changes: dict[str, Any]) -> dict[str, Any]:
@@ -174,6 +226,7 @@ class Table:
                 index.insert(rowid, old_row)
             raise
         self._rows[rowid] = new_row
+        self._mutations += 1
         return old_row
 
     def delete(self, rowid: int) -> dict[str, Any]:
@@ -185,6 +238,7 @@ class Table:
             index.remove(rowid, row)
         for index in self._ordered_indexes.values():
             index.remove(rowid, row)
+        self._mutations += 1
         return row
 
     def restore(self, rowid: int, row: dict[str, Any]) -> None:
@@ -197,6 +251,7 @@ class Table:
             index.insert(rowid, row)
         self._rows[rowid] = row
         self._next_rowid = max(self._next_rowid, rowid + 1)
+        self._mutations += 1
 
     # -- lookups ------------------------------------------------------------
 

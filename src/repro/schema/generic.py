@@ -108,6 +108,9 @@ def ops_log() -> TableSchema:
         ],
         primary_key="log_id",
         indexes=[("at",), ("component",)],
+        # §7-style analytics aggregate over the whole log; columnar copy
+        # feeds the vectorized path (HEDC_COLUMNAR=0 disables).
+        columnar=True,
     )
 
 
@@ -158,6 +161,7 @@ def ops_usage() -> TableSchema:
         ],
         primary_key="usage_id",
         indexes=[("at",), ("operation",)],
+        columnar=True,
     )
 
 

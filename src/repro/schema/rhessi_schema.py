@@ -60,6 +60,9 @@ def hle() -> TableSchema:
         unique=[("item_id",)],
         indexes=[("start_time",), ("peak_rate",), ("kind",), ("owner_id",)],
         foreign_keys=[ForeignKey("owner_id", "admin_users", "user_id")],
+        # Synoptic-catalog sweeps scan this table whole; keep a columnar
+        # copy for the vectorized path (HEDC_COLUMNAR=0 disables).
+        columnar=True,
     )
 
 
@@ -191,6 +194,7 @@ def raw_units() -> TableSchema:
         primary_key="unit_id",
         unique=[("item_id",)],
         indexes=[("start_time",)],
+        columnar=True,
     )
 
 

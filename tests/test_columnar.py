@@ -1,0 +1,476 @@
+"""Columnar segments and the vectorized executor.
+
+The load-bearing property is *differential equivalence*: with
+``HEDC_COLUMNAR`` toggled and nothing else changed, every query must
+return byte-identical rows, order and aggregates — the columnar copy is
+an access path, never a semantics change.  The suite drives randomized
+predicates over a seeded schema (single-node and sharded), the NULL and
+LIKE edge cases that bit the row path historically, zone-map pruning,
+epoch-based rebuild after mutations, and the bulk-delete statistics
+regression.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from contextlib import contextmanager
+
+import pytest
+
+from repro.metadb import (
+    Aggregate,
+    And,
+    Between,
+    Column,
+    ColumnType,
+    Comparison,
+    Database,
+    Delete,
+    In,
+    Insert,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    Select,
+    TableSchema,
+    Update,
+)
+from repro.metadb.columnar import SEGMENT_ROWS
+from repro.metadb.query import COLUMNAR_MIN_ROWS
+
+N_ROWS = SEGMENT_ROWS + 2000  # two segments, second partial
+KINDS = ["flare", "quiet", "storm", "abc\n", "ab%c"]
+
+
+@contextmanager
+def columnar_disabled():
+    """Flip the kill-switch for the duration of a with-block."""
+    previous = os.environ.get("HEDC_COLUMNAR")
+    os.environ["HEDC_COLUMNAR"] = "0"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("HEDC_COLUMNAR", None)
+        else:
+            os.environ["HEDC_COLUMNAR"] = previous
+
+
+def events_schema(columnar: bool = True) -> TableSchema:
+    return TableSchema(
+        "ev",
+        [
+            Column("id", ColumnType.INTEGER, nullable=False),
+            Column("kind", ColumnType.TEXT),          # low-card -> dictionary
+            Column("comment", ColumnType.TEXT),       # high-card -> object
+            Column("val", ColumnType.REAL),
+            Column("n", ColumnType.INTEGER),
+            Column("flag", ColumnType.BOOLEAN),
+            Column("at", ColumnType.TIMESTAMP),
+        ],
+        primary_key="id",
+        indexes=[("val",), ("kind",)],
+        columnar=columnar,
+    )
+
+
+def seed_rows(n: int = N_ROWS, seed: int = 11) -> list[dict]:
+    """Deterministic rows: dyadic rationals for REAL (so vectorized and
+    sequential summation agree bit for bit) and NULLs in every column."""
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n):
+        rows.append({
+            "id": i,
+            "kind": rng.choice(KINDS) if rng.random() > 0.1 else None,
+            "comment": f"note-{rng.randrange(10_000)}" if rng.random() > 0.1 else None,
+            "val": rng.randint(0, 4000) / 4 if rng.random() > 0.1 else None,
+            "n": rng.randint(0, 100) if rng.random() > 0.05 else None,
+            "flag": rng.random() > 0.5 if rng.random() > 0.1 else None,
+            "at": float(rng.randrange(0, 1_000_000)) if rng.random() > 0.1 else None,
+        })
+    return rows
+
+
+@pytest.fixture(scope="module")
+def big_db() -> Database:
+    db = Database(name="colm")
+    db.create_table(events_schema())
+    for row in seed_rows():
+        db.execute(Insert("ev", row))
+    return db
+
+
+def both_paths(db: Database, select: Select):
+    """(columnar_result, row_result) for the same statement."""
+    vectorized = db.execute(select)
+    with columnar_disabled():
+        assert db.explain_plan(select)["access"] != "columnar_scan"
+        row = db.execute(select)
+    return vectorized, row
+
+
+def multiset(rows) -> list[str]:
+    return sorted(repr(sorted(row.items())) for row in rows)
+
+
+def assert_equivalent(db: Database, select: Select) -> None:
+    """Columnar ≡ row path: exact (order included) under ORDER BY, as
+    multisets otherwise — unordered output order is unspecified and the
+    row path may legally stream from an index in key order."""
+    vectorized, row = both_paths(db, select)
+    if select.order_by or select.aggregates:
+        assert vectorized == row
+    else:
+        assert multiset(vectorized) == multiset(row)
+
+
+def random_predicate(rng: random.Random, depth: int = 0):
+    choices = ["cmp", "between", "in", "like", "isnull"]
+    if depth < 2:
+        choices += ["and", "or", "not"]
+    pick = rng.choice(choices)
+    if pick == "cmp":
+        column, value = rng.choice([
+            ("kind", rng.choice(KINDS + ["zzz", "abc"])),
+            ("comment", f"note-{rng.randrange(10_000)}"),
+            ("val", rng.randint(0, 4000) / 4),
+            ("n", rng.randint(0, 100)),
+            ("flag", rng.random() > 0.5),
+            ("at", float(rng.randrange(0, 1_000_000))),
+            ("id", rng.randrange(N_ROWS)),
+        ])
+        return Comparison(column, rng.choice(["=", "!=", "<", "<=", ">", ">="]), value)
+    if pick == "between":
+        low = rng.randint(0, 3000) / 4
+        return Between("val", low, low + rng.randint(0, 2000) / 4)
+    if pick == "in":
+        return In("kind", rng.sample(KINDS + ["zzz"], rng.randint(1, 3)))
+    if pick == "like":
+        column = rng.choice(["kind", "comment"])
+        pattern = rng.choice(["fla%", "%c", "abc_", "abc%", "%o%", "note-1%", "q__et"])
+        return Like(column, pattern)
+    if pick == "isnull":
+        return IsNull(rng.choice(["kind", "val", "n", "flag"]),
+                      negated=rng.random() > 0.5)
+    if pick == "not":
+        return Not(random_predicate(rng, depth + 1))
+    parts = [random_predicate(rng, depth + 1) for _ in range(rng.randint(1, 3))]
+    return And(parts) if pick == "and" else Or(parts)
+
+
+class TestPlanChoice:
+    def test_full_sweep_takes_columnar_scan(self, big_db):
+        plan = big_db.explain_plan(Select("ev", where=Comparison("n", ">=", 0)))
+        assert plan["access"] == "columnar_scan"
+        assert plan["segments_total"] == 2
+        assert "COLUMNAR SCAN" in plan["description"]
+
+    def test_selective_index_still_wins(self, big_db):
+        plan = big_db.explain_plan(Select("ev", where=Comparison("id", "=", 17)))
+        assert plan["access"] == "pk_probe"
+        plan = big_db.explain_plan(
+            Select("ev", where=Between("val", 10.0, 10.5))
+        )
+        assert plan["access"] == "range_scan"
+
+    def test_kill_switch_disables_columnar(self, big_db):
+        select = Select("ev", where=Comparison("n", ">=", 0))
+        with columnar_disabled():
+            assert big_db.explain_plan(select)["access"] == "full_scan"
+        assert big_db.explain_plan(select)["access"] == "columnar_scan"
+
+    def test_small_tables_stay_row_oriented(self):
+        db = Database(name="small")
+        db.create_table(events_schema())
+        for row in seed_rows(COLUMNAR_MIN_ROWS - 1, seed=3):
+            db.execute(Insert("ev", row))
+        plan = db.explain_plan(Select("ev", where=Comparison("n", ">", 5)))
+        assert plan["access"] == "full_scan"
+
+    def test_bounded_ordered_fallback_beats_columnar(self, big_db):
+        plan = big_db.explain_plan(
+            Select("ev", order_by=[("val", "asc")], limit=5)
+        )
+        assert plan["access"] == "range_scan"
+        assert plan["ordered"] is True
+
+    def test_zone_maps_prune_segments(self, big_db):
+        # id is insertion-ordered, so the first segment's zone map
+        # excludes predicates anchored past SEGMENT_ROWS.
+        plan = big_db.explain_plan(
+            Select("ev", where=Comparison("id", ">", SEGMENT_ROWS + 100))
+        )
+        assert plan["access"] == "columnar_scan"
+        assert plan["segments_pruned"] == 1
+        rows, expected = both_paths(
+            big_db, Select("ev", where=Comparison("id", ">", SEGMENT_ROWS + 100))
+        )
+        assert rows == expected
+
+    def test_access_path_and_columnar_counters(self, big_db):
+        big_db.execute(Select("ev", where=Comparison("n", ">=", 0)))
+        counter = big_db.obs.counter(
+            "metadb.access_path", db=big_db.name, access="columnar_scan"
+        )
+        assert counter.value >= 1
+        scanned = big_db.obs.counter(
+            "metadb.columnar.segments_scanned", db=big_db.name
+        )
+        assert scanned.value >= 2
+
+
+class TestDifferentialRandomized:
+    def test_random_filters_match_row_path(self, big_db):
+        rng = random.Random(4000)
+        for _ in range(60):
+            assert_equivalent(big_db, Select("ev", where=random_predicate(rng)))
+
+    def test_random_order_limit_offset(self, big_db):
+        rng = random.Random(4100)
+        for _ in range(25):
+            select = Select(
+                "ev",
+                where=random_predicate(rng),
+                order_by=[(rng.choice(["val", "n", "id", "kind"]),
+                           rng.choice(["asc", "desc"])), ("id", "asc")],
+                limit=rng.choice([None, 0, 7, 500]),
+                offset=rng.choice([0, 3]),
+            )
+            vectorized, row = both_paths(big_db, select)
+            assert vectorized == row
+
+    def test_random_aggregates(self, big_db):
+        rng = random.Random(4200)
+        for _ in range(30):
+            aggregates = [
+                Aggregate("count", "*", "c"),
+                Aggregate(rng.choice(["sum", "avg", "min", "max"]),
+                          rng.choice(["n", "val"]), "x"),
+                Aggregate(rng.choice(["min", "max"]), "kind", "k"),
+                Aggregate("count", "comment", "cc"),
+            ]
+            group_by = rng.choice([(), ("kind",), ("n",), ("flag",)])
+            select = Select(
+                "ev", where=random_predicate(rng),
+                group_by=group_by, aggregates=aggregates,
+            )
+            vectorized, row = both_paths(big_db, select)
+            assert vectorized == row
+
+    def test_projection_applies_on_columnar_path(self, big_db):
+        select = Select("ev", columns=["id", "kind"],
+                        where=Comparison("n", ">", 50))
+        vectorized, row = both_paths(big_db, select)
+        assert multiset(vectorized) == multiset(row)
+        assert set(vectorized[0]) == {"id", "kind"}
+
+
+class TestNullAndLikeEdges:
+    def test_nulls_last_both_directions(self, big_db):
+        for direction in ("asc", "desc"):
+            select = Select(
+                "ev", where=Comparison("n", ">=", 0),
+                order_by=[("val", direction), ("id", "asc")],
+            )
+            vectorized, row = both_paths(big_db, select)
+            assert vectorized == row
+            tail_nulls = [r["val"] for r in vectorized if r["val"] is None]
+            assert [r["val"] for r in vectorized][-len(tail_nulls):] == tail_nulls
+
+    def test_comparisons_never_match_null(self, big_db):
+        for op in ("=", "!=", "<", ">="):
+            vectorized, row = both_paths(
+                big_db, Select("ev", where=Comparison("kind", op, "flare"))
+            )
+            assert multiset(vectorized) == multiset(row)
+            assert all(r["kind"] is not None for r in vectorized)
+
+    def test_not_over_comparison_excludes_nulls(self, big_db):
+        # SQL-approximated semantics: NOT(kind = x) is true on NULL rows
+        # in this engine (matches returns False, Not flips it).
+        vectorized, row = both_paths(
+            big_db, Select("ev", where=Not(Comparison("kind", "=", "flare")))
+        )
+        assert multiset(vectorized) == multiset(row)
+
+    def test_avg_of_empty_group_is_null(self, big_db):
+        select = Select(
+            "ev", where=Comparison("n", ">", 100_000),
+            aggregates=[Aggregate("avg", "val", "a"), Aggregate("count", "*", "c")],
+        )
+        vectorized, row = both_paths(big_db, select)
+        assert vectorized == row == [{"a": None, "c": 0}]
+
+    def test_grouped_aggregate_with_null_group_key(self, big_db):
+        select = Select(
+            "ev", group_by=["kind"],
+            aggregates=[Aggregate("count", "*", "c"), Aggregate("sum", "n", "s")],
+        )
+        vectorized, row = both_paths(big_db, select)
+        assert vectorized == row
+        assert any(group["kind"] is None for group in vectorized)
+
+    def test_like_newline_regression(self, big_db):
+        # PR-4 regression: patterns must not let '%' match across a
+        # newline boundary differently from the row path.
+        for pattern in ("abc%", "abc_", "abc", "%\n", "ab%"):
+            vectorized, row = both_paths(
+                big_db, Select("ev", where=Like("kind", pattern))
+            )
+            assert multiset(vectorized) == multiset(row)
+        matched, _ = both_paths(big_db, Select("ev", where=Like("kind", "abc_")))
+        assert {r["kind"] for r in matched} == {"abc\n"}
+
+    def test_like_on_numeric_column_matches_nothing(self, big_db):
+        vectorized, row = both_paths(
+            big_db, Select("ev", where=Like("n", "1%"))
+        )
+        assert vectorized == row == []
+
+    def test_mixed_type_comparison_is_false_per_row(self, big_db):
+        vectorized, row = both_paths(
+            big_db, Select("ev", where=Comparison("n", "<", "banana"))
+        )
+        assert vectorized == row == []
+
+
+class TestConsistencyWithRowStore:
+    def test_rebuild_after_insert_update_delete(self):
+        db = Database(name="mut")
+        db.create_table(events_schema())
+        for row in seed_rows(COLUMNAR_MIN_ROWS + 200, seed=5):
+            db.execute(Insert("ev", row))
+        sweep = Select("ev", where=Comparison("n", ">=", 0))
+        assert db.explain_plan(sweep)["access"] == "columnar_scan"
+        before = db.execute(sweep)
+
+        store = db.table("ev")._columnar_store
+        rebuilds = store.rebuilds
+        db.execute(Insert("ev", {"id": 10_000, "kind": "flare", "n": 1}))
+        db.execute(Update("ev", {"n": 99}, where=Comparison("id", "=", 10_000)))
+        db.execute(Delete("ev", where=Comparison("id", "=", 0)))
+        vectorized, row = both_paths(db, sweep)
+        assert vectorized == row
+        assert vectorized != before
+        assert store.rebuilds == rebuilds + 1  # one lazy rebuild, not three
+
+    def test_scan_order_matches_row_store_iteration(self, big_db):
+        vectorized, row = both_paths(big_db, Select("ev"))
+        assert vectorized == row  # includes order
+
+    def test_rollback_invalidates_columnar_copy(self):
+        db = Database(name="txm")
+        db.create_table(events_schema())
+        for row in seed_rows(COLUMNAR_MIN_ROWS + 50, seed=9):
+            db.execute(Insert("ev", row))
+        sweep = Select("ev", where=Comparison("n", ">=", 0))
+        baseline = db.execute(sweep)
+        tx = db.begin()
+        db.execute(Insert("ev", {"id": 77_000, "kind": "storm", "n": 3}), tx=tx)
+        assert db.execute(sweep, tx=tx) != baseline
+        db.rollback(tx)
+        vectorized, row = both_paths(db, sweep)
+        assert vectorized == row == baseline
+
+
+class TestStatsStalenessRegression:
+    def test_plan_flips_back_after_bulk_delete(self):
+        """Bulk DELETE must refresh cached planner statistics: the sweep
+        plan drops the columnar path once the table shrinks below the
+        vectorization threshold, and table_rows reflects the survivors."""
+        db = Database(name="bulk")
+        db.create_table(events_schema())
+        n = 2000
+        for row in seed_rows(n, seed=13):
+            db.execute(Insert("ev", row))
+        sweep = Select("ev", where=Comparison("n", ">=", 0))
+        plan = db.explain_plan(sweep)
+        assert plan["access"] == "columnar_scan"
+        assert plan["table_rows"] == n
+        db.execute(Delete("ev", where=Comparison("id", ">=", 100)))
+        plan = db.explain_plan(sweep)
+        assert plan["access"] == "full_scan"
+        assert plan["table_rows"] == 100
+
+    def test_stats_cache_reused_within_threshold(self):
+        db = Database(name="cache")
+        db.create_table(events_schema(columnar=False))
+        for row in seed_rows(1000, seed=17):
+            db.execute(Insert("ev", row))
+        table = db.table("ev")
+        first = table.stats()
+        assert table.stats() is first          # no mutations: cache hit
+        db.execute(Insert("ev", {"id": 90_001, "kind": "quiet", "n": 2}))
+        assert table.stats() is first          # 1 < 1000/20 mutations
+        for i in range(60):
+            db.execute(Insert("ev", {"id": 90_100 + i, "kind": "quiet", "n": 2}))
+        refreshed = table.stats()
+        assert refreshed is not first          # threshold crossed
+        assert refreshed.row_count == 1061
+
+
+class TestShardedColumnar:
+    def test_scatter_gather_is_layout_agnostic(self):
+        from repro.schema import install_all
+        from repro.shard import ShardedDatabase
+
+        day = 86_400.0
+        single = Database(name="colsingle")
+        install_all(single)
+        sharded = ShardedDatabase(boundaries=(day, 2 * day), name="colshard")
+        install_all(sharded)
+        for db in (single, sharded):
+            db.execute(Insert("admin_users", {
+                "user_id": 1, "login": "alice", "password_hash": "x",
+            }))
+        rng = random.Random(23)
+        times = rng.sample(range(0, int(3 * day)), 1800)
+        for index, t in enumerate(times, start=1):
+            row = {
+                "hle_id": index, "item_id": f"hle-{index}", "owner_id": 1,
+                "start_time": float(t), "end_time": float(t + 60),
+                "kind": rng.choice(["flare", "quiet", "storm"]),
+                "peak_rate": rng.randint(0, 4000) / 4,
+                "created_at": 1000.0,
+            }
+            single.execute(Insert("hle", row))
+            sharded.execute(Insert("hle", row))
+
+        sweeps = [
+            Select("hle", where=Comparison("peak_rate", ">=", 0.0),
+                   order_by=[("start_time", "asc")]),
+            Select("hle", where=Like("kind", "f%"),
+                   order_by=[("hle_id", "asc")]),
+            Select("hle", group_by=["kind"],
+                   aggregates=[Aggregate("count", "*", "c"),
+                               Aggregate("max", "peak_rate", "p")]),
+        ]
+        for select in sweeps:
+            expected = single.execute(select)
+            assert sharded.execute(select) == expected
+            with columnar_disabled():
+                assert sharded.execute(select) == expected
+                assert single.execute(select) == expected
+
+    def test_shard_explain_surfaces_columnar_path(self):
+        from repro.schema import install_all
+        from repro.shard import ShardedDatabase
+
+        sharded = ShardedDatabase(boundaries=(86_400.0,), name="colexp")
+        install_all(sharded)
+        sharded.execute(Insert("admin_users", {
+            "user_id": 1, "login": "alice", "password_hash": "x",
+        }))
+        for i in range(COLUMNAR_MIN_ROWS + 10):
+            sharded.execute(Insert("hle", {
+                "hle_id": i + 1, "item_id": f"hle-{i}", "owner_id": 1,
+                "start_time": float(i), "end_time": float(i + 1),
+                "kind": "flare", "peak_rate": float(i % 7),
+            }))
+        plan = sharded.explain_plan(
+            Select("hle", where=Comparison("peak_rate", ">=", 0.0))
+        )
+        assert plan["access"] == "columnar_scan"
