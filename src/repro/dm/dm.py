@@ -16,7 +16,7 @@ from typing import Any, Optional, Union
 from ..cache import cache_report
 from ..filestore import DiskArchive, StorageManager
 from ..metadb import Aggregate, Between, Comparison, Database, In, Select
-from ..obs import Observability, resolve as resolve_obs
+from ..obs import Observability, resolve as resolve_obs, runtime_report
 from ..resil import breaker_report, get_default_injector
 from ..schema import install_all
 from ..security import User, UserManager, scoped_where
@@ -258,6 +258,7 @@ class DataManager:
                 "slow_ops": self.obs.slowlog.total_recorded,
                 "profiler_running": self.obs.profiler.running,
             },
+            "runtime": runtime_report(self.obs),
             "io": self.io.stats.snapshot(),
             "metrics": registry.snapshot(),
         }

@@ -44,6 +44,36 @@ IMAGE_RESPONSE_KB = 35.0
 #: Tuples parsed per request (§7.2).
 TUPLES_PER_REQUEST = 80
 
+# -- service-level objectives (PR-10 observability) ----------------------------
+#
+# Availability and latency objectives per admission priority class,
+# seeded from the §7 measurements: the DB service time for one request
+# (DB_SERVICE_PER_REQUEST_S ~ 58 ms) is the floor any latency promise
+# must clear.  Interactive analysis tolerates more latency but demands
+# the most nines (a failed analyze loses work); browse is the bread-and-
+# butter interactive path; bulk downloads are throughput-oriented and
+# shed first under pressure, so their promises are the loosest.
+
+#: Availability objective (non-5xx fraction) per priority class.
+SLO_AVAILABILITY = {
+    "analysis": 0.999,
+    "browse": 0.99,
+    "bulk": 0.95,
+}
+
+#: Fraction of requests that must finish under the class threshold.
+SLO_LATENCY_OBJECTIVE = 0.95
+
+#: Latency thresholds per class, as multiples of the §7.2 DB service
+#: time per request: analysis pages fan out across tiers (8x), a browse
+#: page is a handful of batched round trips (4x), bulk moves big
+#: payloads (20x).
+SLO_LATENCY_S = {
+    "analysis": 8 * DB_SERVICE_PER_REQUEST_S,
+    "browse": 4 * DB_SERVICE_PER_REQUEST_S,
+    "bulk": 20 * DB_SERVICE_PER_REQUEST_S,
+}
+
 # -- processing testbed (§8, Tables 1-3) ----------------------------------------
 
 #: Table 2: 100 imaging requests over 50 MB in 50 files, 2-3 files each.

@@ -12,11 +12,23 @@ from __future__ import annotations
 import base64
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any, Iterator, Optional
 
 from ..obs import Observability, resolve as resolve_obs
 from ..resil.faults import fire as fire_fault
+
+# Process-wide count of open journal file handles — a leak detector for
+# the process-runtime panel (every Journal opens lazily and closes on
+# checkpoint, so a steadily climbing count means handles are escaping).
+_OPEN_HANDLES = 0
+_HANDLE_LOCK = threading.Lock()
+
+
+def open_wal_handles() -> int:
+    """How many journal file handles this process currently holds open."""
+    return _OPEN_HANDLES
 
 
 def _encode_value(value: Any) -> Any:
@@ -66,6 +78,9 @@ class Journal:
     def _open_handle(self):
         if self._handle is None:
             self._handle = open(self.journal_path, "a", encoding="utf-8")
+            global _OPEN_HANDLES
+            with _HANDLE_LOCK:
+                _OPEN_HANDLES += 1
         return self._handle
 
     def append_transaction(self, tx_id: int, records: list[dict[str, Any]]) -> None:
@@ -212,3 +227,6 @@ class Journal:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+            global _OPEN_HANDLES
+            with _HANDLE_LOCK:
+                _OPEN_HANDLES -= 1

@@ -19,6 +19,7 @@ collect, cheaply.  ``/hedc/metrics`` renders a deployment's registry and
 """
 
 from .events import SEVERITIES, Event, EventLog
+from .health import DEGRADED, GREEN, RED, CanaryProbe, HealthMonitor
 from .export import (
     InMemoryExporter,
     JsonExporter,
@@ -37,15 +38,26 @@ from .hub import (
 )
 from .instrument import instrument, timed
 from .metrics import (
+    NO_DATA,
     Counter,
     Gauge,
     Histogram,
     Metric,
     MetricsRegistry,
+    NoData,
     default_latency_buckets,
 )
 from .profile import SamplingProfiler, critical_path, span_self_times, trace_profile
+from .slo import Slo, SloManager, default_slos
 from .slowlog import SlowLog, SlowOp
+from .timeseries import (
+    DEFAULT_TIERS,
+    TelemetryCollector,
+    TimeSeriesStore,
+    runtime_report,
+    sample_runtime,
+    sparkline,
+)
 from .trace import NULL_SPAN, NULL_SPAN_CONTEXT, Span, Tracer
 from .usage import (
     calibration_drift,
@@ -56,8 +68,24 @@ from .usage import (
 )
 
 __all__ = [
+    "CanaryProbe",
     "Counter",
     "DEFAULT",
+    "DEFAULT_TIERS",
+    "DEGRADED",
+    "GREEN",
+    "HealthMonitor",
+    "NO_DATA",
+    "NoData",
+    "RED",
+    "Slo",
+    "SloManager",
+    "TelemetryCollector",
+    "TimeSeriesStore",
+    "default_slos",
+    "runtime_report",
+    "sample_runtime",
+    "sparkline",
     "Event",
     "EventLog",
     "SEVERITIES",

@@ -53,11 +53,16 @@ def to_line_protocol(registry: MetricsRegistry) -> str:
     for metric in registry.metrics():
         series = _series_name(metric.name, metric.labels)
         if isinstance(metric, Histogram):
-            fields = (
-                f"count={metric.count}i,sum={metric.sum:.9f},"
-                f"mean={metric.mean:.9f},p50={metric.quantile(0.5):.9f},"
-                f"p95={metric.quantile(0.95):.9f},p99={metric.quantile(0.99):.9f}"
-            )
+            if metric.count == 0:
+                # No observations: quantiles are NO_DATA, not 0.0 — emit
+                # only the honest fields rather than NaN placeholders.
+                fields = "count=0i,sum=0.000000000"
+            else:
+                fields = (
+                    f"count={metric.count}i,sum={metric.sum:.9f},"
+                    f"mean={metric.mean:.9f},p50={metric.quantile(0.5):.9f},"
+                    f"p95={metric.quantile(0.95):.9f},p99={metric.quantile(0.99):.9f}"
+                )
             if metric.min is not None:
                 fields += f",min={metric.min:.9f},max={metric.max:.9f}"
         else:

@@ -18,9 +18,12 @@ import time
 from typing import Any, Optional, Sequence
 
 from .events import EventLog
+from .health import HealthMonitor
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import SamplingProfiler
+from .slo import SloManager
 from .slowlog import SlowLog
+from .timeseries import TelemetryCollector
 from .trace import NULL_SPAN_CONTEXT, Span, Tracer
 
 
@@ -79,6 +82,12 @@ class Observability:
         self.events = EventLog()
         self.slowlog = SlowLog()
         self.profiler = SamplingProfiler()
+        # Retained telemetry (PR-10): SLO evaluation and the health
+        # rollup ride the collector; all three own no thread until
+        # ``collector.start()``.
+        self.slo = SloManager(self)
+        self.health = HealthMonitor(self)
+        self.collector = TelemetryCollector(self)
 
     # -- switch ----------------------------------------------------------------
 
@@ -96,6 +105,8 @@ class Observability:
         self.events.clear()
         self.slowlog.clear()
         self.profiler.reset()
+        self.collector.reset()
+        self.slo.reset()
 
     # -- metric shortcuts (always on) ------------------------------------------
 

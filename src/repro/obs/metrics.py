@@ -29,6 +29,40 @@ def _label_key(name: str, labels: dict[str, str]) -> LabelKey:
     return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
 
 
+class NoData(float):
+    """Typed "no observations" sentinel for quantile/windowed queries.
+
+    An empty histogram used to answer ``quantile()`` with ``0.0`` — a
+    value indistinguishable from a genuinely instant operation, which is
+    exactly the wrong thing for an SLO evaluator or a dashboard to act
+    on.  ``NO_DATA`` is a NaN-valued ``float`` subclass, so:
+
+    * arithmetic propagates (NaN) instead of silently reading as zero;
+    * it is *falsy* (``if p95:`` skips it) and never compares equal to
+      any number, including itself — standard NaN semantics;
+    * callers that care can test identity: ``value is NO_DATA``.
+
+    JSON exports render it as ``null`` (see :meth:`Histogram.snapshot`).
+    """
+
+    _singleton: Optional["NoData"] = None
+
+    def __new__(cls) -> "NoData":
+        if cls._singleton is None:
+            cls._singleton = float.__new__(cls, "nan")
+        return cls._singleton
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NO_DATA"
+
+
+#: The shared no-data sentinel instance.
+NO_DATA = NoData()
+
+
 def default_latency_buckets() -> list[float]:
     """Geometric bucket bounds from 10 µs to ~84 s (factor √10 per 2)."""
     return [1e-5 * math.sqrt(10.0) ** i for i in range(14)]
@@ -180,6 +214,13 @@ class Histogram(Metric):
             for index, (value, trace_id, span_id) in slots
         ]
 
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Cumulative-free per-bucket counts (inner buckets + overflow),
+        snapshotted under the lock — what the time-series collector
+        samples to answer windowed-quantile queries later."""
+        with self._lock:
+            return tuple(self._counts)
+
     def _bucket_index(self, value: float) -> int:
         lo, hi = 0, len(self.bounds)
         while lo < hi:
@@ -195,7 +236,10 @@ class Histogram(Metric):
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Estimate the q-quantile (0 <= q <= 1) from the buckets."""
+        """Estimate the q-quantile (0 <= q <= 1) from the buckets.
+
+        Returns :data:`NO_DATA` when the histogram is empty (fresh or
+        just reset) — a typed sentinel, not a misleading ``0.0``."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be within [0, 1]")
         with self._lock:
@@ -203,6 +247,12 @@ class Histogram(Metric):
 
     def snapshot(self) -> dict:
         with self._lock:
+            empty = self.count == 0
+
+            def _q(q: float):
+                # JSON-friendly: null, never NaN, for an empty histogram.
+                return None if empty else self._quantile_unlocked(q)
+
             snapshot = {
                 "type": self.kind,
                 "labels": dict(self.labels),
@@ -210,10 +260,10 @@ class Histogram(Metric):
                 "sum": self.sum,
                 "min": self.min,
                 "max": self.max,
-                "mean": self.mean,
-                "p50": self._quantile_unlocked(0.50),
-                "p95": self._quantile_unlocked(0.95),
-                "p99": self._quantile_unlocked(0.99),
+                "mean": None if empty else self.mean,
+                "p50": _q(0.50),
+                "p95": _q(0.95),
+                "p99": _q(0.99),
             }
             if self._exemplars:
                 snapshot["exemplars"] = [
@@ -230,7 +280,7 @@ class Histogram(Metric):
     def _quantile_unlocked(self, q: float) -> float:
         # snapshot() already holds the lock; re-implement without it.
         if self.count == 0:
-            return 0.0
+            return NO_DATA
         target = q * self.count
         cumulative = 0.0
         for index, bucket_count in enumerate(self._counts):
@@ -244,7 +294,7 @@ class Histogram(Metric):
                 fraction = (target - cumulative) / bucket_count
                 return lower + fraction * (upper - lower)
             cumulative += bucket_count
-        return self.max if self.max is not None else 0.0
+        return self.max if self.max is not None else NO_DATA
 
     def reset(self) -> None:
         with self._lock:

@@ -54,12 +54,13 @@ def request_mix(obs: Observability) -> dict[str, dict[str, Any]]:
     mix: dict[str, dict[str, Any]] = {}
     for route in sorted(counts, key=lambda r: -counts[r]):
         histogram = latencies.get(route)
+        populated = histogram is not None and histogram.count > 0
         mix[route] = {
             "requests": int(counts[route]),
             "share": counts[route] / total if total else 0.0,
             "statuses": {k: int(v) for k, v in sorted(statuses[route].items())},
-            "p50_s": histogram.quantile(0.50) if histogram else 0.0,
-            "p95_s": histogram.quantile(0.95) if histogram else 0.0,
+            "p50_s": histogram.quantile(0.50) if populated else 0.0,
+            "p95_s": histogram.quantile(0.95) if populated else 0.0,
         }
     return mix
 

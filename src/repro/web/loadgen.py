@@ -192,7 +192,13 @@ def mixed_class_mix(
 
 @dataclass
 class ClassStats:
-    """Outcome tally for one admission class."""
+    """Outcome tally for one admission class.
+
+    Besides the aggregates, every completion is kept as a timestamped
+    event (``at_s`` relative to the run start) so the result can render
+    per-class goodput/latency *timelines* — behavior over time, not just
+    end-of-run averages.
+    """
 
     sent: int = 0
     ok: int = 0          # 2xx/3xx — goodput numerator
@@ -200,8 +206,11 @@ class ClassStats:
     expired: int = 0     # 504
     errors: int = 0      # other 4xx/5xx
     latencies_s: list[float] = field(default_factory=list)
+    #: (completion time since run start, status, elapsed) per request.
+    events: list[tuple[float, int, float]] = field(default_factory=list)
 
-    def record(self, status: int, elapsed_s: float) -> None:
+    def record(self, status: int, elapsed_s: float,
+               at_s: Optional[float] = None) -> None:
         self.sent += 1
         if status < 400:
             self.ok += 1
@@ -212,6 +221,8 @@ class ClassStats:
             self.expired += 1
         else:
             self.errors += 1
+        if at_s is not None:
+            self.events.append((at_s, status, elapsed_s))
 
     def merge(self, other: "ClassStats") -> None:
         self.sent += other.sent
@@ -220,6 +231,7 @@ class ClassStats:
         self.expired += other.expired
         self.errors += other.errors
         self.latencies_s.extend(other.latencies_s)
+        self.events.extend(other.events)
 
 
 def _quantile(sorted_values: list[float], q: float) -> float:
@@ -249,7 +261,36 @@ class LoadResult:
     def throughput_rps(self) -> float:
         return self.ok / self.duration_s if self.duration_s > 0 else 0.0
 
-    def summary(self) -> dict[str, Any]:
+    def timeline(self, bucket_s: float = 0.25) -> dict[str, list[dict[str, Any]]]:
+        """Per-class behavior over time: completions bucketed into
+        ``bucket_s`` slices, each with goodput and latency quantiles —
+        what BENCH_serving.json plots and the TSDB tests feed on."""
+        per_class: dict[str, list[dict[str, Any]]] = {}
+        for cls in CLASS_ORDER:
+            stats = self.classes.get(cls)
+            if stats is None or not stats.events:
+                continue
+            buckets: dict[int, list[tuple[int, float]]] = {}
+            for at_s, status, elapsed_s in stats.events:
+                buckets.setdefault(int(at_s / bucket_s), []).append(
+                    (status, elapsed_s))
+            rows = []
+            for index in sorted(buckets):
+                entries = buckets[index]
+                oks = sorted(elapsed for status, elapsed in entries
+                             if status < 400)
+                rows.append({
+                    "t_s": round(index * bucket_s, 6),
+                    "sent": len(entries),
+                    "ok": len(oks),
+                    "goodput_rps": len(oks) / bucket_s,
+                    "p50_s": _quantile(oks, 0.50) if oks else None,
+                    "p95_s": _quantile(oks, 0.95) if oks else None,
+                })
+            per_class[cls] = rows
+        return per_class
+
+    def summary(self, bucket_s: float = 0.25) -> dict[str, Any]:
         per_class: dict[str, Any] = {}
         for cls in CLASS_ORDER:
             stats = self.classes.get(cls)
@@ -274,6 +315,7 @@ class LoadResult:
             "ok": self.ok,
             "throughput_rps": self.throughput_rps,
             "classes": per_class,
+            "timeline": self.timeline(bucket_s),
         }
 
 
@@ -301,14 +343,16 @@ def run_closed_loop(
         rng = Random(seed * 7919 + index)
         stats = per_thread[index]
         barrier.wait()
+        run_started = time.perf_counter()
         while not stop.is_set():
             request = make_request(rng)
             cls = classify_route(stack.web._route_of(request.path),
                                  stack.web._route_classes)
             started = time.perf_counter()
             response = stack.web.handle(request)
-            stats[cls].record(response.status,
-                              time.perf_counter() - started)
+            finished = time.perf_counter()
+            stats[cls].record(response.status, finished - started,
+                              at_s=finished - run_started)
 
     threads = [threading.Thread(target=client, args=(index,), daemon=True)
                for index in range(n_clients)]
@@ -368,9 +412,10 @@ def run_open_loop(
                 response = task.response
             else:
                 response = task.result(0.0)
-        elapsed = ((task.resolved_at or time.perf_counter())
-                   - task.created_at)
-        merged[task.request_class].record(response.status, elapsed)
+        resolved_at = task.resolved_at or time.perf_counter()
+        elapsed = resolved_at - task.created_at
+        merged[task.request_class].record(response.status, elapsed,
+                                          at_s=resolved_at - started)
     total = time.perf_counter() - started
     return LoadResult(mode="open", duration_s=min(total, duration_s),
                       classes=merged)

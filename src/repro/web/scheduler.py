@@ -58,6 +58,7 @@ DEFAULT_ROUTE_CLASSES = {
     "/hedc/ana": CLASS_ANALYSIS,
     "/hedc/metrics": CLASS_ANALYSIS,
     "/hedc/debug": CLASS_ANALYSIS,
+    "/hedc/dashboard": CLASS_ANALYSIS,
     "/hedc/login": CLASS_BROWSE,
     "/hedc/catalogs": CLASS_BROWSE,
     "/hedc/catalog": CLASS_BROWSE,

@@ -100,6 +100,16 @@ class WebServer:
         self.router.add("/hedc/analyze", self.servlets.analyze)
         self.router.add("/hedc/metrics", self.servlets.metrics)
         self.router.add("/hedc/debug", self.servlets.debug)
+        self.router.add("/hedc/dashboard", self.servlets.dashboard)
+        # Health rollup sources: the reports the servlets already build.
+        # Last server wired wins when several share one hub — fine, they
+        # share the DM too in every assembly we ship.
+        self.obs.health.add_source("serving", self.serving_report)
+        self.obs.health.add_source("shard", self.servlets._shard_report)
+        self.obs.health.add_source("repl", self.servlets._repl_report)
+        self.obs.slo.cause_resolver = self.obs.health.attributed_cause
+        #: Set by :meth:`enable_canary`.
+        self.canary = None
         self._requests = self.obs.counter("web.requests", server=self.name)
         self._bytes = self.obs.counter("web.bytes_sent", server=self.name)
         # Per-route metric handles, resolved lazily once per (route, status).
@@ -260,6 +270,19 @@ class WebServer:
         counter.inc()
 
     # -- lifecycle & telemetry -----------------------------------------------
+
+    def enable_canary(self, path: str = "/hedc/catalogs",
+                      interval_s: float = 5.0, timeout_s: float = 2.0):
+        """Attach a synthetic canary probe to the hub's collector so an
+        idle deployment still distinguishes "no traffic" from "down".
+        The probe fires on collector ticks (at most once per
+        ``interval_s``); start the collector to make it periodic."""
+        from ..obs import CanaryProbe
+
+        self.canary = CanaryProbe(self, path=path, interval_s=interval_s,
+                                  timeout_s=timeout_s)
+        self.obs.collector.add_sampler(self.canary)
+        return self.canary
 
     def shutdown(self) -> None:
         """Stop pool workers and shed anything still queued."""

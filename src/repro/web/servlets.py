@@ -21,6 +21,8 @@ from ..metadb import And, Comparison, Select
 from ..obs import (
     Histogram,
     resolve as resolve_obs,
+    runtime_report,
+    sparkline,
     to_json_snapshot,
     to_line_protocol,
     usage_report,
@@ -324,6 +326,7 @@ class Servlets:
             body["shard"] = self._shard_report()
             body["replication"] = self._repl_report()
             body["serving"] = self._serving_report()
+            body["runtime"] = runtime_report(self.obs)
             return HttpResponse(
                 body=json.dumps(body, indent=2).encode("utf-8"),
                 content_type="application/json",
@@ -463,6 +466,109 @@ class Servlets:
                 )
                 for copy in repl["replicas"]:
                     lines.append(self._replica_line(copy, indent="  "))
+        return HttpResponse(
+            body=("\n".join(lines) + "\n").encode("utf-8"),
+            content_type="text/plain",
+        )
+
+    # -- the live dashboard (PR-10): health, alerts, burn, sparklines -----------------------------
+
+    #: Series drawn as sparklines: (title, metric family, field, style).
+    #: ``rate`` plots per-sample increments of a counter family;
+    #: ``value`` plots the gauge itself.
+    _DASHBOARD_SERIES = (
+        ("req/s", "web.requests", "value", "rate"),
+        ("shed/s", "web.shed", "value", "rate"),
+        ("rss MB", "process.rss_bytes", "value", "mb"),
+        ("threads", "process.threads", "value", "value"),
+        ("canary ok", "obs.canary.ok", "value", "value"),
+    )
+
+    def _dashboard_timeline(self, name: str, field: str, style: str,
+                            window_s: float = 300.0) -> list[float]:
+        """One plottable timeline, summed across a family's label sets."""
+        store = self.obs.collector.store
+        merged: dict[float, float] = {}
+        for labels in store.label_sets(name):
+            for t, value in store.series(name, field=field, window_s=window_s,
+                                         **labels):
+                merged[t] = merged.get(t, 0.0) + float(value)
+        points = [value for _t, value in sorted(merged.items())]
+        if style == "rate":
+            return [max(0.0, b - a) for a, b in zip(points, points[1:])]
+        if style == "mb":
+            return [value / (1024 * 1024) for value in points]
+        return points
+
+    def dashboard(self, request: HttpRequest) -> HttpResponse:
+        """The operator's landing page: health rollup with attributed
+        causes, active burn-rate alerts, per-SLO error-budget state and
+        sparkline timelines — text by default, ``?format=json`` for
+        machines (and for ``benchmarks/capture_dashboard.py``)."""
+        obs = self.obs
+        store = obs.collector.store
+        health = obs.health.report(store=store)
+        slo_report = obs.slo.report()
+        timelines = {
+            title: self._dashboard_timeline(name, field, style)
+            for title, name, field, style in self._DASHBOARD_SERIES
+        }
+        if request.params.get("format") == "json":
+            body = {
+                "status": health["status"],
+                "health": health,
+                "slos": slo_report["slos"],
+                "active_alerts": slo_report["active_alerts"],
+                "collector": obs.collector.report(),
+                "runtime": runtime_report(obs),
+                "timelines": timelines,
+            }
+            return HttpResponse(
+                body=json.dumps(body, indent=2).encode("utf-8"),
+                content_type="application/json",
+            )
+        collector = obs.collector.report()
+        lines = [
+            f"HEDC dashboard — status: {health['status'].upper()}",
+            "=" * 40,
+            f"collector: {'running' if collector['running'] else 'stopped'},"
+            f" {collector['samples']} samples,"
+            f" {collector['series']} series retained",
+            "",
+            "health:",
+        ]
+        for name, sub in health["subsystems"].items():
+            lines.append(f"  {name:<12} {sub['status']}")
+            for cause in sub["causes"]:
+                lines.append(f"    - {cause}")
+        alerts = slo_report["active_alerts"]
+        lines.append("")
+        lines.append(f"alerts ({len(alerts)} active):")
+        for alert in alerts:
+            burn = alert["burn"]
+            burn_text = f"{burn:.1f}x" if burn is not None else "no data"
+            lines.append(
+                f"  {alert['slo']} [{alert['window']}] FIRING"
+                f" burn={burn_text} cause={alert['cause'] or '(none)'}"
+            )
+        lines.append("")
+        lines.append("slos:")
+        for name, entry in slo_report["slos"].items():
+            fast = entry["alerts"]["fast"]["burn"]
+            slow = entry["alerts"]["slow"]["burn"]
+            budget = entry["budget_used_fraction"]
+
+            def _x(value):
+                return f"{value:.2f}x" if value is not None else "-"
+
+            lines.append(
+                f"  {name:<24} objective={entry['objective']:.3f}"
+                f" fast={_x(fast)} slow={_x(slow)} budget_burn={_x(budget)}"
+            )
+        lines.append("")
+        lines.append("timelines (last 5m):")
+        for title, values in timelines.items():
+            lines.append(f"  {title:<10} {sparkline(values, width=48)}")
         return HttpResponse(
             body=("\n".join(lines) + "\n").encode("utf-8"),
             content_type="text/plain",

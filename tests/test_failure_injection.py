@@ -510,6 +510,102 @@ class TestSeededChaos:
         assert injector.stats()["metadb.shard.1.statement"]["fired"] > 0
         assert sharded.degraded_count >= 5
 
+    def test_killed_shard_fires_fast_burn_alert_and_clears_on_rejoin(self, tmp_path):
+        """The PR-10 observability loop closed end to end: a killed shard
+        burns the data-read-completeness SLO, the **fast** window fires a
+        burn-rate alert whose attributed cause names the dead shard and
+        its range, and after the shard rejoins the alert clears — only
+        after the hysteresis hold, never on the first good sample."""
+        import time
+
+        from repro.metadb import Insert
+        from repro.obs import Observability, Slo
+        from repro.resil import BreakerState
+        from repro.schema import install_all
+        from repro.shard import PartialResult, ShardedDatabase
+
+        obs = Observability(name="chaos6")
+        sharded = ShardedDatabase(boundaries=(100.0, 200.0), name="chaos6",
+                                  path=tmp_path / "cat", obs=obs,
+                                  breaker_cooldown_s=0.05)
+        install_all(sharded)
+        sharded.execute(Insert("admin_users", {
+            "user_id": 1, "login": "chaos", "password_hash": "x",
+        }))
+        for index, start in enumerate(
+                [10.0, 50.0, 110.0, 150.0, 210.0, 250.0], start=1):
+            sharded.execute(Insert("hle", {
+                "hle_id": index, "item_id": f"hle:{index}", "owner_id": 1,
+                "start_time": start, "end_time": start + 1.0,
+            }))
+        # Wire the rollup exactly as WebServer does, minus the web tier:
+        # health reads the shard report, alerts resolve causes from health.
+        obs.health.add_source("shard", sharded.shard_report)
+        obs.slo.cause_resolver = obs.health.attributed_cause
+        obs.slo.define(Slo(
+            name="data-read-completeness", kind="ratio", objective=0.9,
+            bad_family="metadb.shard.degraded",
+            total_family="metadb.shard.route",
+            fast_window_s=5.0, slow_window_s=10.0,
+            fast_burn_threshold=2.0, slow_burn_threshold=1000.0,
+            clear_burn_threshold=1.0, clear_after_s=2.0, min_events=3,
+        ))
+        collector = obs.collector
+        clock = {"now": 0.0}
+
+        def tick():
+            clock["now"] += 1.0
+            collector.sample_once(now=clock["now"])
+
+        tick()  # baseline sample: setup-time route counts become history
+        for _round in range(5):
+            assert not isinstance(sharded.execute(Select("hle")), PartialResult)
+            tick()
+        assert obs.slo.active_alerts() == []
+
+        injector = FaultInjector(seed=CHAOS_SEED)
+        injector.inject("metadb.shard.1.statement", rate=1.0)
+        with use_injector(injector):
+            # Fail until the shard breaker trips — the cause must already
+            # be attributable when the alert fires.
+            for _attempt in range(30):
+                assert isinstance(sharded.execute(Select("hle")), PartialResult)
+                if sharded.breakers[1].state is BreakerState.OPEN:
+                    break
+            assert sharded.breakers[1].state is BreakerState.OPEN
+            for _round in range(2):
+                assert isinstance(sharded.execute(Select("hle")), PartialResult)
+                tick()
+        fired = obs.slo.active_alerts()
+        assert [(a["slo"], a["window"]) for a in fired] == [
+            ("data-read-completeness", "fast"),
+        ]
+        assert "shard 1" in fired[0]["cause"]
+        assert "100.0" in fired[0]["cause"]  # the degraded range is named
+        events = obs.events.find("slo.alert_fired")
+        assert events and "shard 1" in events[0].fields["cause"]
+
+        # Rejoin: chaos off, cooldown elapses, the half-open probe closes
+        # the breaker and scatters are whole again.
+        time.sleep(0.06)
+        rows = sharded.execute(Select("hle"))
+        assert not isinstance(rows, PartialResult)
+        assert sharded.breakers[1].state is BreakerState.CLOSED
+        # Hysteresis: the burn falls to zero as the failure window ages
+        # out, but the alert holds until it stays below the clear
+        # threshold for clear_after_s of samples...
+        for _round in range(5):
+            assert not isinstance(sharded.execute(Select("hle")), PartialResult)
+            tick()
+        assert obs.slo.active_alerts(), "alert cleared without hysteresis hold"
+        # ...and only then clears, emitting the recovery event.
+        for _round in range(3):
+            assert not isinstance(sharded.execute(Select("hle")), PartialResult)
+            tick()
+        assert obs.slo.active_alerts() == []
+        assert obs.events.find("slo.alert_cleared")
+        assert injector.stats()["metadb.shard.1.statement"]["fired"] > 0
+
     def test_replica_killed_mid_scatter_during_concurrent_split(self, tmp_path):
         """With ``replicas_per_shard >= 2`` a single replica's death is
         invisible: one shard's follower is killed mid-scatter while

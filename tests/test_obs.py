@@ -11,7 +11,9 @@ from repro.obs import (
     JsonExporter,
     LineProtocolExporter,
     MetricsRegistry,
+    NO_DATA,
     NULL_SPAN,
+    NoData,
     Observability,
     Tracer,
     instrument,
@@ -96,11 +98,36 @@ class TestHistogram:
         assert histogram.quantile(1.0) == pytest.approx(100.0)
         assert histogram.quantile(0.0) == pytest.approx(100.0)
 
-    def test_empty_histogram_quantile_is_zero(self):
+    def test_empty_histogram_quantile_is_no_data(self):
+        # Regression (PR-10): an empty histogram used to answer 0.0 —
+        # indistinguishable from a genuinely instant operation.
         histogram = MetricsRegistry().histogram("lat")
-        assert histogram.quantile(0.5) == 0.0
+        value = histogram.quantile(0.5)
+        assert value is NO_DATA
+        assert isinstance(value, NoData)
+        assert not value            # falsy: `if p95:` skips it
+        assert value != value       # NaN semantics propagate
         with pytest.raises(ValueError):
             histogram.quantile(1.5)
+
+    def test_reset_histogram_quantile_is_no_data(self):
+        histogram = MetricsRegistry().histogram("lat")
+        histogram.observe(0.25)
+        assert histogram.quantile(0.5) is not NO_DATA
+        histogram.reset()
+        assert histogram.quantile(0.95) is NO_DATA
+
+    def test_empty_histogram_snapshot_and_exports_are_clean(self):
+        # The sentinel must never leak NaN into JSON or line protocol.
+        registry = MetricsRegistry()
+        registry.histogram("lat", route="/x")
+        snapshot = registry.get("lat", route="/x").snapshot()
+        assert snapshot["p50"] is None and snapshot["p95"] is None
+        assert snapshot["mean"] is None
+        text = to_line_protocol(registry)
+        assert "nan" not in text.lower()
+        assert "count=0i" in text
+        json.loads(json.dumps(to_json_snapshot(registry)))  # strict-parsable
 
     def test_snapshot_fields(self):
         histogram = MetricsRegistry().histogram("lat", route="/x")
